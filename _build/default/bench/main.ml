@@ -1,0 +1,145 @@
+(* Benchmark harness entry point.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation section over the twelve workloads:
+
+     dune exec bench/main.exe                  # everything, scale 1
+     dune exec bench/main.exe -- -e fig8       # one experiment
+     dune exec bench/main.exe -- --scale 3     # longer runs
+     dune exec bench/main.exe -- --list        # experiment ids
+
+   [--bechamel] instead runs wall-clock microbenchmarks of the DBT pipeline
+   itself (translation throughput, interpretation, timing-model feed rate),
+   one Bechamel test per stage. *)
+
+let scale = ref 1
+let experiment = ref None
+let bechamel = ref false
+let list_only = ref false
+let csv_dir = ref None
+
+let args =
+  [
+    ("-e", Arg.String (fun s -> experiment := Some s), "ID run one experiment");
+    ("--scale", Arg.Set_int scale, "N workload scale factor (default 1)");
+    ("--bechamel", Arg.Set bechamel, " run Bechamel microbenchmarks");
+    ("--csv", Arg.String (fun d -> csv_dir := Some d),
+     "DIR export per-benchmark series as CSV files");
+    ("--list", Arg.Set list_only, " list experiment ids");
+  ]
+
+(* ---------- Bechamel microbenchmarks ---------- *)
+
+let bench_superblock_translation isa =
+  (* translate the gzip workload's hot loop over and over *)
+  let w = List.hd Workloads.all in
+  let prog = Workloads.program w in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "translate (%s ISA)" (Core.Config.isa_name isa))
+    (Bechamel.Staged.stage (fun () ->
+         let interp = Alpha.Interp.create prog in
+         let ctx = Core.Translate.create { Core.Config.default with isa } in
+         Core.Translate.map_vm_memory interp.mem;
+         (* skip the init code, then form + translate the first hot region *)
+         ignore (Alpha.Interp.run ~fuel:20_000 interp);
+         let sb, _ =
+           Core.Superblock.form ~interp ~max_size:200 ~is_translated:(fun _ -> false) ()
+         in
+         Core.Translate.translate ctx interp.mem sb))
+
+let bench_interpreter () =
+  let w = List.hd Workloads.all in
+  let prog = Workloads.program w in
+  Bechamel.Test.make ~name:"interpret 10k insns"
+    (Bechamel.Staged.stage (fun () ->
+         let interp = Alpha.Interp.create prog in
+         ignore (Alpha.Interp.run ~fuel:10_000 interp)))
+
+let bench_vm_exec () =
+  let w = List.hd Workloads.all in
+  let prog = Workloads.program w in
+  Bechamel.Test.make ~name:"VM run 100k V-insns (modified ISA)"
+    (Bechamel.Staged.stage (fun () ->
+         let vm = Core.Vm.create ~kind:Core.Vm.Acc prog in
+         ignore (Core.Vm.run ~fuel:100_000 vm)))
+
+let bench_ildp_timing () =
+  let w = List.hd Workloads.all in
+  let prog = Workloads.program w in
+  Bechamel.Test.make ~name:"VM + ILDP timing, 100k V-insns"
+    (Bechamel.Staged.stage (fun () ->
+         let vm = Core.Vm.create ~kind:Core.Vm.Acc prog in
+         let m = Uarch.Ildp.create () in
+         ignore
+           (Core.Vm.run ~sink:(Uarch.Ildp.feed m)
+              ~boundary:(fun () -> Uarch.Ildp.boundary m)
+              ~fuel:100_000 vm)))
+
+let bench_ooo_timing () =
+  let w = List.hd Workloads.all in
+  let prog = Workloads.program w in
+  Bechamel.Test.make ~name:"interp + OoO timing, 100k V-insns"
+    (Bechamel.Staged.stage (fun () ->
+         let st = Alpha.Interp.create prog in
+         let m = Uarch.Ooo.create () in
+         ignore (Alpha.Interp.run_ev ~fuel:100_000 st ~sink:(Uarch.Ooo.feed m))))
+
+let run_bechamel () =
+  let open Bechamel in
+  let benchmarks =
+    Test.make_grouped ~name:"ildp_dbt"
+      [
+        bench_interpreter ();
+        bench_superblock_translation Core.Config.Basic;
+        bench_superblock_translation Core.Config.Modified;
+        bench_vm_exec ();
+        bench_ildp_timing ();
+        bench_ooo_timing ();
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 2.0) () in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ clock ] benchmarks in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols clock raw in
+  (* plain-text report: ns per run for each stage *)
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name (r : Analyze.OLS.t) ->
+      let line =
+        match Analyze.OLS.estimates r with
+        | Some (est :: _) -> Printf.sprintf "%-45s %14.0f ns/run" name est
+        | _ -> Printf.sprintf "%-45s (no estimate)" name
+      in
+      rows := line :: !rows)
+    results;
+  List.iter print_endline (List.sort compare !rows)
+
+let () =
+  Arg.parse args (fun _ -> ()) "ILDP DBT benchmark harness";
+  if !list_only then
+    List.iter
+      (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc)
+      Harness.Experiments.all
+  else if !bechamel then run_bechamel ()
+  else if !csv_dir <> None then begin
+    let dir = Option.get !csv_dir in
+    let files = Harness.Csv.export dir ~scale:!scale in
+    List.iter (Printf.printf "wrote %s\n") files
+  end
+  else begin
+    let fmt = Format.std_formatter in
+    Format.fprintf fmt
+      "ILDP DBT evaluation - %d workloads, scale %d@.(workloads: %s)@."
+      (List.length Workloads.all) !scale
+      (String.concat " " (Harness.Experiments.names ()));
+    (match !experiment with
+    | Some id -> (
+      match Harness.Experiments.find id with
+      | Some (_, _, f) -> f fmt ~scale:!scale
+      | None ->
+        Format.fprintf fmt "unknown experiment %S; use --list@." id;
+        exit 1)
+    | None -> Harness.Experiments.run_all fmt ~scale:!scale);
+    Format.pp_print_flush fmt ()
+  end

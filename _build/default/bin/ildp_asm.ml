@@ -1,0 +1,50 @@
+(* ildp_asm: assemble an Alpha source file and dump the image, or
+   disassemble its text section back.
+
+     ildp_asm prog.s            # assemble, print section summary
+     ildp_asm prog.s --disasm   # assemble + disassemble the text section *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run file disasm =
+  match Alpha.Assembler.assemble (read_file file) with
+  | exception Alpha.Assembler.Error { line; msg } ->
+    Printf.eprintf "%s:%d: %s\n" file line msg;
+    exit 1
+  | prog ->
+    Printf.printf "text: %#x..%#x (%d bytes)\n" prog.text.base
+      (prog.text.base + String.length prog.text.bytes)
+      (String.length prog.text.bytes);
+    Printf.printf "data: %#x..%#x (%d bytes)\n" prog.data.base
+      (prog.data.base + String.length prog.data.bytes)
+      (String.length prog.data.bytes);
+    Printf.printf "entry: %#x\n" prog.entry;
+    List.iter
+      (fun (name, addr) -> Printf.printf "  %#08x %s\n" addr name)
+      (List.sort (fun (_, a) (_, b) -> compare a b) prog.symbols);
+    if disasm then begin
+      print_newline ();
+      Array.iteri
+        (fun i insn ->
+          Printf.printf "%#08x: %s\n" (prog.text.base + (4 * i))
+            (Alpha.Disasm.to_string insn))
+        (Alpha.Program.predecode prog)
+    end
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Alpha assembly source file.")
+  in
+  let disasm = Arg.(value & flag & info [ "disasm"; "d" ] ~doc:"Disassemble.") in
+  Cmd.v (Cmd.info "ildp_asm" ~doc:"Two-pass Alpha assembler")
+    Term.(const run $ file $ disasm)
+
+let () = exit (Cmd.eval cmd)

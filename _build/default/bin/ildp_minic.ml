@@ -1,0 +1,49 @@
+(* ildp_minic: compile a MiniC source file to Alpha assembly (stdout), or
+   run it directly under the reference interpreter.
+
+     ildp_minic prog.mc          # emit assembly
+     ildp_minic prog.mc --run    # compile, assemble and interpret *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let go file run_it =
+  match Minic.to_asm (read_file file) with
+  | exception Minic.Error msg ->
+    Printf.eprintf "%s: %s\n" file msg;
+    exit 1
+  | asm ->
+    if not run_it then print_string asm
+    else begin
+      let prog = Alpha.Assembler.assemble asm in
+      let st = Alpha.Interp.create prog in
+      match Alpha.Interp.run ~fuel:2_000_000_000 st with
+      | Alpha.Interp.Exit c ->
+        print_string (Alpha.Interp.output st);
+        Printf.eprintf "[exit %d after %d instructions]\n" c st.icount;
+        exit c
+      | Fault tr ->
+        print_string (Alpha.Interp.output st);
+        Format.eprintf "trap: %a@." Alpha.Interp.pp_trap tr;
+        exit 1
+      | Out_of_fuel ->
+        Printf.eprintf "out of fuel\n";
+        exit 1
+    end
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"MiniC source file.")
+  in
+  let run_it = Arg.(value & flag & info [ "run"; "r" ] ~doc:"Compile and run.") in
+  Cmd.v (Cmd.info "ildp_minic" ~doc:"MiniC to Alpha compiler")
+    Term.(const go $ file $ run_it)
+
+let () = exit (Cmd.eval cmd)

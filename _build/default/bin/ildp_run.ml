@@ -1,0 +1,179 @@
+(* ildp_run: execute a workload (or a MiniC / Alpha-assembly file) under any
+   of the simulated systems and report statistics.
+
+     ildp_run gzip                         # DBT, modified ISA, dual-RAS
+     ildp_run gzip --isa basic --ildp      # basic ISA + ILDP timing
+     ildp_run prog.mc --interp             # plain interpretation
+     ildp_run prog.s --straight --ooo      # straightened Alpha + OoO timing
+     ildp_run gzip --disasm                # dump translated fragments *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_program src scale =
+  if Filename.check_suffix src ".mc" then Minic.compile (read_file src)
+  else if Filename.check_suffix src ".s" then
+    Alpha.Assembler.assemble (read_file src)
+  else
+    match Workloads.find src with
+    | Some w -> Workloads.program ~scale w
+    | None ->
+      Printf.eprintf
+        "unknown workload %S (expected one of: %s, or a .mc/.s file)\n" src
+        (String.concat " "
+           (List.map (fun (w : Workloads.t) -> w.name) Workloads.all));
+      exit 2
+
+let show_outcome = function
+  | Core.Vm.Exit c -> Printf.printf "exit code      : %d\n" c
+  | Core.Vm.Fault tr -> Format.printf "trap           : %a@." Alpha.Interp.pp_trap tr
+  | Core.Vm.Out_of_fuel -> Printf.printf "stopped        : out of fuel\n"
+
+let run src scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
+    disasm fuel =
+  let prog = load_program src scale in
+  let isa = if isa = "basic" then Core.Config.Basic else Core.Config.Modified in
+  let chaining =
+    match chaining with
+    | "no_pred" -> Core.Config.No_pred
+    | "sw_pred" -> Core.Config.Sw_pred_no_ras
+    | _ -> Core.Config.Sw_pred_ras
+  in
+  if interp_only then begin
+    let st = Alpha.Interp.create prog in
+    let m = if ooo then Some (Uarch.Ooo.create ()) else None in
+    let outcome =
+      match m with
+      | Some m -> Alpha.Interp.run_ev ~fuel st ~sink:(Uarch.Ooo.feed m)
+      | None -> Alpha.Interp.run ~fuel st
+    in
+    print_string (Alpha.Interp.output st);
+    (match outcome with
+    | Alpha.Interp.Exit c -> Printf.printf "exit code      : %d\n" c
+    | Fault tr -> Format.printf "trap           : %a@." Alpha.Interp.pp_trap tr
+    | Out_of_fuel -> Printf.printf "stopped        : out of fuel\n");
+    Printf.printf "V-ISA insns    : %d\n" st.icount;
+    Option.iter
+      (fun m ->
+        Printf.printf "cycles         : %d\n" (Uarch.Ooo.cycles m);
+        Printf.printf "V-ISA IPC      : %.3f\n" (Uarch.Ooo.v_ipc m))
+      m
+  end
+  else begin
+    let cfg = { Core.Config.default with isa; chaining; n_accs } in
+    let kind = if straight then Core.Vm.Straight_only else Core.Vm.Acc in
+    let vm = Core.Vm.create ~cfg ~kind prog in
+    let ildp_m =
+      if ildp then
+        Some
+          (Uarch.Ildp.create
+             ~params:{ Uarch.Ildp.default_params with n_pe; comm }
+             ())
+      else None
+    in
+    let ooo_m = if ooo && straight then Some (Uarch.Ooo.create ()) else None in
+    let sink =
+      match (ildp_m, ooo_m) with
+      | Some m, _ -> Some (Uarch.Ildp.feed m)
+      | None, Some m -> Some (Uarch.Ooo.feed m)
+      | None, None -> None
+    in
+    let boundary =
+      match (ildp_m, ooo_m) with
+      | Some m, _ -> Some (fun () -> Uarch.Ildp.boundary m)
+      | None, Some m -> Some (fun () -> Uarch.Ooo.boundary m)
+      | None, None -> None
+    in
+    let outcome = Core.Vm.run ?sink ?boundary ~fuel vm in
+    print_string (Core.Vm.output vm);
+    show_outcome outcome;
+    Printf.printf "mode           : %s %s/%s\n"
+      (if straight then "straightened-Alpha" else "accumulator-ISA")
+      (Core.Config.isa_name isa)
+      (Core.Config.chaining_name chaining);
+    Printf.printf "interp insns   : %d\n" vm.interp_insns;
+    Printf.printf "superblocks    : %d\n" vm.superblocks;
+    (match Core.Vm.acc_exec vm with
+    | Some ex ->
+      Printf.printf "I-ISA executed : %d (%d copy, %d chain)\n" ex.stats.i_exec
+        ex.stats.by_class.(1) ex.stats.by_class.(2);
+      Printf.printf "V-ISA in frags : %d\n" ex.stats.alpha_retired;
+      if ex.stats.alpha_retired > 0 then
+        Printf.printf "expansion      : %.3f\n"
+          (float_of_int ex.stats.i_exec /. float_of_int ex.stats.alpha_retired)
+    | None -> ());
+    (match Core.Vm.straight_exec vm with
+    | Some ex ->
+      Printf.printf "translated exec: %d\n" ex.stats.i_exec;
+      Printf.printf "V-ISA in frags : %d\n" ex.stats.alpha_retired
+    | None -> ());
+    (match Core.Vm.acc_ctx vm with
+    | Some ctx ->
+      Printf.printf "DBT work/insn  : %.0f\n"
+        (Core.Cost.per_translated_insn ctx.cost);
+      if disasm then begin
+        Printf.printf "\n--- translation cache ---\n";
+        List.iter
+          (fun (f : Core.Tcache.frag) ->
+            Printf.printf "fragment @%#x (entered %d times):\n" f.v_start
+              f.exec_count;
+            for s = f.entry_slot to f.entry_slot + f.n_slots - 1 do
+              Printf.printf "  %5d: %s\n" s
+                (Accisa.Disasm.to_string (Core.Tcache.Acc.get ctx.tc s))
+            done)
+          (Core.Tcache.Acc.fragments ctx.tc)
+      end
+    | None -> ());
+    Option.iter
+      (fun m ->
+        Printf.printf "cycles         : %d\n" (Uarch.Ildp.cycles m);
+        Printf.printf "V-ISA IPC      : %.3f\n" (Uarch.Ildp.v_ipc m);
+        Printf.printf "native I-IPC   : %.3f\n" (Uarch.Ildp.ipc m))
+      ildp_m;
+    Option.iter
+      (fun m ->
+        Printf.printf "cycles         : %d\n" (Uarch.Ooo.cycles m);
+        Printf.printf "V-ISA IPC      : %.3f\n" (Uarch.Ooo.v_ipc m))
+      ooo_m
+  end
+
+let cmd =
+  let src =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"Workload name, or a .mc (MiniC) / .s (Alpha assembly) file.")
+  in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale.") in
+  let isa =
+    Arg.(value & opt string "modified" & info [ "isa" ]
+           ~doc:"Target I-ISA: basic or modified.")
+  in
+  let chaining =
+    Arg.(value & opt string "sw_pred_ras" & info [ "chaining" ]
+           ~doc:"Chaining: no_pred, sw_pred or sw_pred_ras.")
+  in
+  let n_accs = Arg.(value & opt int 4 & info [ "accs" ] ~doc:"Logical accumulators.") in
+  let interp = Arg.(value & flag & info [ "interp" ] ~doc:"Interpret only (no DBT).") in
+  let straight =
+    Arg.(value & flag & info [ "straight" ] ~doc:"Code-straightening-only DBT.")
+  in
+  let ildp = Arg.(value & flag & info [ "ildp" ] ~doc:"Attach the ILDP timing model.") in
+  let ooo = Arg.(value & flag & info [ "ooo" ] ~doc:"Attach the superscalar timing model.") in
+  let n_pe = Arg.(value & opt int 8 & info [ "pes" ] ~doc:"ILDP processing elements.") in
+  let comm = Arg.(value & opt int 0 & info [ "comm" ] ~doc:"ILDP communication latency.") in
+  let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Dump translated fragments.") in
+  let fuel =
+    Arg.(value & opt int 200_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
+  in
+  Cmd.v
+    (Cmd.info "ildp_run" ~doc:"Run programs under the ILDP co-designed VM")
+    Term.(
+      const run $ src $ scale $ isa $ chaining $ n_accs $ interp $ straight
+      $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel)
+
+let () = exit (Cmd.eval cmd)

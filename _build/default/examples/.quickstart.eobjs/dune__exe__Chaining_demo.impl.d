@@ -1,0 +1,1 @@
+examples/chaining_demo.ml: Array Core List Minic Option Printf Uarch

@@ -1,0 +1,1 @@
+examples/chaining_demo.mli:

@@ -1,0 +1,1 @@
+examples/gzip_strands.ml: Accisa Alpha Core Format List Machine Option Printf String

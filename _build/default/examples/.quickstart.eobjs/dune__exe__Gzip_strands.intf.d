@@ -1,0 +1,1 @@
+examples/gzip_strands.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alpha Core Minic Option Printf String Uarch

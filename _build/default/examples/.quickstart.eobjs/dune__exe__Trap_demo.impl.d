@@ -1,0 +1,1 @@
+examples/trap_demo.ml: Alpha Core Format List Option Printf

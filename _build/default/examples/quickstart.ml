@@ -1,0 +1,70 @@
+(* Quickstart: compile a small program, run it three ways, compare.
+
+     dune exec examples/quickstart.exe
+
+   Walks the whole public API surface once:
+   1. compile MiniC to an Alpha program image,
+   2. run it under the reference interpreter,
+   3. run it under the DBT co-designed VM (modified accumulator ISA),
+   4. attach the ILDP timing model and report V-ISA IPC. *)
+
+let source =
+  {|
+  int checksum = 0;
+
+  int step(int x) { return (x * 1103515245 + 12345) & 0xffffff; }
+
+  int main() {
+    int i;
+    int v = 1;
+    for (i = 0; i < 2000; i = i + 1) {
+      v = step(v);
+      checksum = (checksum + v) & 0xffffff;
+    }
+    print checksum;
+    return 0;
+  }
+|}
+
+let () =
+  (* 1. compile *)
+  let prog = Minic.compile source in
+  Printf.printf "compiled: %d bytes of Alpha text at %#x\n"
+    (Alpha.Program.text_size prog) prog.text.base;
+
+  (* 2. reference interpretation *)
+  let st = Alpha.Interp.create prog in
+  (match Alpha.Interp.run st with
+  | Alpha.Interp.Exit 0 -> ()
+  | _ -> failwith "interpreter run failed");
+  Printf.printf "interpreter  : output=%s (%d instructions)\n"
+    (String.trim (Alpha.Interp.output st))
+    st.icount;
+
+  (* 3. the DBT virtual machine *)
+  let vm = Core.Vm.create ~kind:Core.Vm.Acc prog in
+  (match Core.Vm.run vm with
+  | Core.Vm.Exit 0 -> ()
+  | _ -> failwith "VM run failed");
+  let ex = Option.get (Core.Vm.acc_exec vm) in
+  Printf.printf "DBT VM       : output=%s\n" (String.trim (Core.Vm.output vm));
+  Printf.printf
+    "               %d V-insns interpreted, %d retired in translated code\n"
+    vm.interp_insns ex.stats.alpha_retired;
+  Printf.printf "               %d I-ISA instructions executed (expansion %.2fx)\n"
+    ex.stats.i_exec
+    (float_of_int ex.stats.i_exec /. float_of_int ex.stats.alpha_retired);
+
+  (* 4. with the ILDP timing model attached *)
+  let vm = Core.Vm.create ~kind:Core.Vm.Acc prog in
+  let m = Uarch.Ildp.create () in
+  (match
+     Core.Vm.run ~sink:(Uarch.Ildp.feed m)
+       ~boundary:(fun () -> Uarch.Ildp.boundary m)
+       vm
+   with
+  | Core.Vm.Exit 0 -> ()
+  | _ -> failwith "timed VM run failed");
+  Printf.printf "ILDP timing  : %d cycles, V-ISA IPC %.3f (8 PEs, 0-cycle comm)\n"
+    (Uarch.Ildp.cycles m) (Uarch.Ildp.v_ipc m);
+  print_endline "ok."

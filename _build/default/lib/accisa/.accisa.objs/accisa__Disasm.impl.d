@@ -1,0 +1,1 @@
+lib/accisa/disasm.ml: Alpha Format Insn Int64 Printf

@@ -1,0 +1,1 @@
+lib/accisa/disasm.mli: Format Insn

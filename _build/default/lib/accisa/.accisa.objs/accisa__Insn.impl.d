@@ -1,0 +1,1 @@
+lib/accisa/insn.ml: Alpha List

@@ -1,0 +1,1 @@
+lib/accisa/size.ml: Insn Int64 List

@@ -1,0 +1,1 @@
+lib/accisa/size.mli: Insn

@@ -1,0 +1,1 @@
+lib/accisa/trace.ml: Insn List Machine Option Size

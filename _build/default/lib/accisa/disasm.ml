@@ -1,0 +1,60 @@
+(* I-ISA pretty-printer, in the paper's RTL-flavoured notation.
+
+   Basic ISA:      A0 <- mem[R16]
+   Modified ISA:   R3 (A0) <- mem[R16]        (Fig. 2 of the paper) *)
+
+let gpr g = if g < 32 then Printf.sprintf "R%d" g else Printf.sprintf "V%d" (g - 32)
+
+let src = function
+  | Insn.Sacc a -> Printf.sprintf "A%d" a
+  | Insn.Sgpr g -> gpr g
+  | Insn.Simm v -> Int64.to_string v
+
+let dst (d : Insn.dst) =
+  match d.gdst with
+  | None -> Printf.sprintf "A%d" d.dacc
+  | Some g ->
+    Printf.sprintf "%s%s(A%d)" (gpr g) (if d.gopr then "!" else " ") d.dacc
+
+let cond_name = Alpha.Disasm.cond_name
+
+let op_name = Alpha.Disasm.opr_name
+
+let to_string : Insn.t -> string = function
+  | Alu { op; d; a; b } ->
+    Printf.sprintf "%s <- %s %s, %s" (dst d) (op_name op) (src a) (src b)
+  | Cmov_test { cond; d; cv; old } ->
+    Printf.sprintf "%s <- cmtest.%s %s ? %s" (dst d) (cond_name cond) (src cv)
+      (src old)
+  | Cmov_sel { d; p; nv } ->
+    Printf.sprintf "%s <- cmsel %s : %s" (dst d) (src p) (src nv)
+  | Load { width; d; base; disp; _ } ->
+    if disp = 0 then
+      Printf.sprintf "%s <- mem%d[%s]" (dst d) (Insn.bytes_of_width width) (src base)
+    else
+      Printf.sprintf "%s <- mem%d[%s + %d]" (dst d) (Insn.bytes_of_width width)
+        (src base) disp
+  | Store { width; value; base; disp } ->
+    if disp = 0 then
+      Printf.sprintf "mem%d[%s] <- %s" (Insn.bytes_of_width width) (src base)
+        (src value)
+    else
+      Printf.sprintf "mem%d[%s + %d] <- %s" (Insn.bytes_of_width width)
+        (src base) disp (src value)
+  | Copy_to_gpr { g; a } -> Printf.sprintf "%s <- A%d" (gpr g) a
+  | Copy_from_gpr { d; g } -> Printf.sprintf "%s <- %s" (dst d) (gpr g)
+  | Br { target } -> Printf.sprintf "P <- @%d" target
+  | Bc { cond; v; target } ->
+    Printf.sprintf "P <- @%d, if (%s %s)" target (src v) (cond_name cond)
+  | Jmp_ind { v } -> Printf.sprintf "P <- %s" (src v)
+  | Lta { d; value } -> Printf.sprintf "%s <- lta %#Lx" (dst d) value
+  | Set_vbase { vaddr } -> Printf.sprintf "vbase <- %#x" vaddr
+  | Push_dras { g; v_ret; i_ret } ->
+    Printf.sprintf "%s <- %#x; dras.push(%#x, @%d)" (gpr g) v_ret v_ret i_ret
+  | Ret_dras { v } -> Printf.sprintf "P <- dras.pop ? %s" (src v)
+  | Call_xlate { exit_id } -> Printf.sprintf "call-translator #%d" exit_id
+  | Call_xlate_cond { cond; v; exit_id } ->
+    Printf.sprintf "call-translator #%d, if (%s %s)" exit_id (src v)
+      (cond_name cond)
+
+let pp fmt i = Format.pp_print_string fmt (to_string i)

@@ -1,0 +1,9 @@
+(** I-ISA pretty-printer in the paper's RTL-flavoured notation:
+    basic ISA [A0 <- mem8[R16]], modified ISA [R3 (A0) <- A0 and 255]
+    (cf. the paper's Fig. 2c/2d). *)
+
+val gpr : int -> string
+val src : Insn.src -> string
+val dst : Insn.dst -> string
+val to_string : Insn.t -> string
+val pp : Format.formatter -> Insn.t -> unit

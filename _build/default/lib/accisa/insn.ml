@@ -1,0 +1,163 @@
+(* The accumulator-oriented implementation ISA (I-ISA).
+
+   One instruction type covers both of the paper's formats:
+
+   - the {e basic} ISA (Section 2.1): each instruction reads/writes at most
+     one accumulator and names at most one GPR; architected register state is
+     maintained with explicit copy-to-GPR instructions;
+   - the {e modified} ISA (Section 2.3): result-producing instructions carry
+     an embedded destination GPR ([gdst]) that updates the architected
+     register file off the critical path, making copy instructions
+     unnecessary. When the output value is also needed for inter-strand
+     communication, [gopr] marks a latency-critical operational-GPR write.
+
+   Basic-ISA instructions simply have [gdst = None].
+
+   GPR numbering: 0..31 are the architected Alpha registers; 32..63 are
+   VM-private scratch registers used by chaining and dispatch code (the
+   I-ISA has "a larger GPR file" than the V-ISA, paper Section 1.1).
+
+   Control-flow targets are translation-cache slot indices, not byte
+   addresses (see core.Tcache); the byte-accurate positions used for
+   I-cache modelling are carried by the cache's address table.
+
+   The Alpha operate vocabulary {!Alpha.Insn.op3} is reused as the ALU
+   operation set: the translator re-maps operands but never changes value
+   semantics, which keeps the "same architected results" invariant testable
+   against {!Alpha.Insn.eval_op}. *)
+
+type acc = int (* accumulator / strand identifier *)
+type gpr = int (* 0..63 *)
+
+(* Operand: at most one [Sacc] and at most one [Sgpr] may appear among an
+   instruction's sources — checked by {!well_formed}. *)
+type src = Sacc of acc | Sgpr of gpr | Simm of int64
+
+(* Destination bundle of a result-producing instruction.
+
+   [dacc = -1] with [gdst = Some g] is the basic ISA's GPR-destination
+   form: the one GPR specifier names the destination (legal only when no
+   source is a GPR), no accumulator is written, and the strand ends — used
+   for values with no accumulator-linked consumers, avoiding an explicit
+   copy-to-GPR (paper Section 2.1: "one GPR, either as a source or a
+   destination"). *)
+type dst = {
+  dacc : acc; (* accumulator written (strand id), -1 for GPR-dest form *)
+  gdst : gpr option; (* destination GPR (modified ISA embedded update, or
+                        the basic ISA GPR-destination form) *)
+  gopr : bool; (* modified ISA: value is also written to the
+                  latency-critical operational GPR file *)
+}
+
+type width = W1 | W2 | W4 | W8
+
+type t =
+  | Alu of { op : Alpha.Insn.op3; d : dst; a : src; b : src }
+  | Cmov_test of { cond : Alpha.Insn.cond; d : dst; cv : src; old : src }
+    (* d.acc <- old, with predicate flag <- cond(cv) *)
+  | Cmov_sel of { d : dst; p : src; nv : src }
+    (* d.acc <- pred(p) ? nv : value(p); p must be an accumulator *)
+  | Load of { width : width; signed : bool; d : dst; base : src; disp : int }
+    (* [disp] is 0 under the paper's base ISAs (addressing modes perform no
+       computation, Section 2.1); the Section 4.5 fused-addressing option
+       re-introduces a displacement field *)
+  | Store of { width : width; value : src; base : src; disp : int }
+  | Copy_to_gpr of { g : gpr; a : acc } (* R <- A (basic ISA state copy) *)
+  | Copy_from_gpr of { d : dst; g : gpr } (* A <- R (starts a strand) *)
+  | Br of { target : int } (* P <- slot *)
+  | Bc of { cond : Alpha.Insn.cond; v : src; target : int }
+  | Jmp_ind of { v : src } (* P <- register value (I-addresses) *)
+  | Lta of { d : dst; value : int64 } (* load-embedded-target-address *)
+  | Set_vbase of { vaddr : int } (* first insn of a translation group *)
+  | Push_dras of { g : gpr; v_ret : int; i_ret : int }
+    (* R[g] <- v_ret; dual-RAS push (v_ret, i_ret slot) *)
+  | Ret_dras of { v : src }
+    (* pop dual-RAS; if popped V-address = value(v) jump to popped I-slot,
+       else fall through (to chaining code) *)
+  | Call_xlate of { exit_id : int } (* exit to the VM runtime *)
+  | Call_xlate_cond of { cond : Alpha.Insn.cond; v : src; exit_id : int }
+    (* patchable conditional exit: becomes [Bc] once the target is hot *)
+
+let width_of_mem : Alpha.Insn.mem_op -> width = function
+  | Ldq | Stq -> W8
+  | Ldl | Stl -> W4
+  | Ldwu | Stw -> W2
+  | Ldbu | Stb -> W1
+  | Lda | Ldah -> invalid_arg "width_of_mem: not a memory access"
+
+let bytes_of_width = function W1 -> 1 | W2 -> 2 | W4 -> 4 | W8 -> 8
+
+(* ---------- structure helpers ---------- *)
+
+let srcs : t -> src list = function
+  | Alu { a; b; _ } -> [ a; b ]
+  | Cmov_test { cv; old; _ } -> [ cv; old ]
+  | Cmov_sel { p; nv; _ } -> [ p; nv ]
+  | Load { base; _ } -> [ base ]
+  | Store { value; base; _ } -> [ value; base ]
+  | Copy_to_gpr { a; _ } -> [ Sacc a ]
+  | Copy_from_gpr { g; _ } -> [ Sgpr g ]
+  | Bc { v; _ } -> [ v ]
+  | Jmp_ind { v } -> [ v ]
+  | Ret_dras { v } -> [ v ]
+  | Call_xlate_cond { v; _ } -> [ v ]
+  | Br _ | Lta _ | Set_vbase _ | Push_dras _ | Call_xlate _ -> []
+
+let dst_of : t -> dst option = function
+  | Alu { d; _ } | Cmov_test { d; _ } | Cmov_sel { d; _ } | Load { d; _ }
+  | Copy_from_gpr { d; _ } | Lta { d; _ } ->
+    Some d
+  | _ -> None
+
+let acc_read i =
+  List.find_map (function Sacc a -> Some a | _ -> None) (srcs i)
+
+let gpr_read i =
+  List.find_map (function Sgpr g -> Some g | _ -> None) (srcs i)
+
+let acc_written i =
+  match dst_of i with Some d when d.dacc >= 0 -> Some d.dacc | _ -> None
+
+let is_control = function
+  | Br _ | Bc _ | Jmp_ind _ | Ret_dras _ | Call_xlate _ | Call_xlate_cond _ ->
+    true
+  | _ -> false
+
+(* Potentially excepting instruction in translated code. *)
+let is_pei = function Load _ | Store _ -> true | _ -> false
+
+(* ---------- the ISA's well-formedness constraints ----------
+
+   Checked by tests over every translation the DBT produces:
+   - at most one accumulator among the sources,
+   - at most one GPR among the sources (basic ISA also allows at most one
+     GPR *named*, i.e. sources + copy destination),
+   - Cmov_sel's predicate source is an accumulator. *)
+let well_formed i =
+  let ss = srcs i in
+  let n_acc =
+    List.length
+      (List.sort_uniq compare
+         (List.filter_map (function Sacc a -> Some a | _ -> None) ss))
+  in
+  let n_gpr =
+    List.length
+      (List.sort_uniq compare
+         (List.filter_map (function Sgpr g -> Some g | _ -> None) ss))
+  in
+  let cmov_ok =
+    match i with Cmov_sel { p = Sacc _; _ } -> true | Cmov_sel _ -> false | _ -> true
+  in
+  n_acc <= 1 && n_gpr <= 1 && cmov_ok
+
+(* A basic-ISA instruction must not use the modified-ISA destination fields;
+   the GPR-destination form (dacc = -1) is legal only when no source names
+   a GPR (one-GPR rule). *)
+let basic_formed i =
+  match dst_of i with
+  | Some { gopr = true; _ } -> false
+  | Some { dacc; gdst = Some _; _ } ->
+    dacc < 0
+    && (not (List.exists (function Sgpr _ -> true | _ -> false) (srcs i)))
+    && well_formed i
+  | _ -> well_formed i

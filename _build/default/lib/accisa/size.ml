@@ -1,0 +1,51 @@
+(* Encoded-size model for the I-ISA (16- vs 32-bit instruction formats).
+
+   The paper's ISA ([28], Section 2.1) encodes many instructions in 16 bits:
+   one accumulator specifier, at most one GPR specifier, and small
+   immediates. Instructions needing a 16-bit immediate, a branch offset, or
+   (in the modified ISA) a destination-GPR specifier on top of a full
+   operand set take 32 bits. The special chaining instructions embed full
+   target addresses and are modelled at 64 bits (instruction + address
+   word).
+
+   These constants feed the "relative static instruction bytes" columns of
+   Table 2; what matters for reproduction is that the basic ISA enjoys more
+   16-bit encodings per instruction while the modified ISA wins on
+   instruction count. *)
+
+let imm_fits_small v = Int64.compare v (-16L) >= 0 && Int64.compare v 15L <= 0
+
+let src_small = function
+  | Insn.Simm v -> imm_fits_small v
+  | Insn.Sacc _ | Insn.Sgpr _ -> true
+
+(* Does the destination-GPR specifier of a modified-ISA instruction need
+   its own field? The format has one GPR slot: an instruction whose sources
+   use no GPR gives the slot to [gdst]; and when the destination register
+   *is* the GPR source (the common `R3 <- A0 xor R3` shape of Fig. 2d) the
+   single specifier is shared. Only a gdst different from a present GPR
+   source forces the wide format. *)
+let gdst_needs_slot (d : Insn.dst) srcs =
+  match d.gdst with
+  | None -> false
+  | Some g ->
+    List.exists (function Insn.Sgpr g' -> g' <> g | _ -> false) srcs
+
+(* Size in bytes of one I-ISA instruction under the given format. *)
+let bytes (i : Insn.t) =
+  match i with
+  | Alu { d; a; b; _ } | Cmov_test { d; cv = a; old = b; _ } ->
+    let base = if src_small a && src_small b then 2 else 4 in
+    if gdst_needs_slot d [ a; b ] then 4 else base
+  | Cmov_sel { d; p; nv } -> if gdst_needs_slot d [ p; nv ] then 4 else 2
+  | Load { d; base; disp; _ } ->
+    if disp <> 0 || gdst_needs_slot d [ base ] then 4 else 2
+  | Store { disp; _ } -> if disp <> 0 then 4 else 2
+  | Copy_to_gpr _ | Copy_from_gpr _ -> 2
+  | Br _ | Bc _ -> 4
+  | Jmp_ind _ | Ret_dras _ -> 2
+  | Lta _ | Set_vbase _ | Push_dras _ -> 8
+  | Call_xlate _ -> 4
+  | Call_xlate_cond _ -> 4 (* same size as the Bc that patches over it *)
+
+let total insns = List.fold_left (fun n i -> n + bytes i) 0 insns

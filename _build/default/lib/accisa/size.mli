@@ -1,0 +1,19 @@
+(** Encoded-size model for the I-ISA (16- vs 32-bit formats).
+
+    The accumulator ISA of [28] encodes most instructions in 16 bits; wide
+    immediates, branch offsets, fused displacements and a destination-GPR
+    specifier that cannot share the single GPR slot force 32 bits; the
+    special chaining instructions embedding full addresses count 64 bits.
+    Feeds the "relative static instruction bytes" columns of Table 2. *)
+
+val imm_fits_small : int64 -> bool
+
+val gdst_needs_slot : Insn.dst -> Insn.src list -> bool
+(** Does the destination-GPR specifier need its own field? [false] when no
+    source names a GPR (the slot is free) or when the destination {e is}
+    the GPR source (the shared-specifier shape of Fig. 2d). *)
+
+val bytes : Insn.t -> int
+(** Encoded size in bytes of one instruction. *)
+
+val total : Insn.t list -> int

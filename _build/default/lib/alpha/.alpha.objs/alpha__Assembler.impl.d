@@ -1,0 +1,1 @@
+lib/alpha/assembler.ml: Buffer Char Encode Hashtbl Insn Int64 List Option Printf Program Reg String

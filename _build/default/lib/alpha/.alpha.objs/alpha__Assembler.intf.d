@@ -1,0 +1,1 @@
+lib/alpha/assembler.mli: Insn Program

@@ -1,0 +1,1 @@
+lib/alpha/decode.ml: Insn Int64 Printf

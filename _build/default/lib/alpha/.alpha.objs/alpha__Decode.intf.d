@@ -1,0 +1,1 @@
+lib/alpha/decode.mli: Insn

@@ -1,0 +1,1 @@
+lib/alpha/disasm.ml: Format Insn Printf Reg

@@ -1,0 +1,1 @@
+lib/alpha/disasm.mli: Format Insn

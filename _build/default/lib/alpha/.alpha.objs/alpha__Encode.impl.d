@@ -1,0 +1,1 @@
+lib/alpha/encode.ml: Insn Printf

@@ -1,0 +1,1 @@
+lib/alpha/encode.mli: Insn

@@ -1,0 +1,1 @@
+lib/alpha/interp.ml: Array Buffer Char Format Insn Int64 Machine Program Reg Trace

@@ -1,0 +1,1 @@
+lib/alpha/program.ml: Array Char Decode List Machine Printf String

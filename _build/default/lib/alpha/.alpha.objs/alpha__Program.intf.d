@@ -1,0 +1,1 @@
+lib/alpha/program.mli: Insn Machine

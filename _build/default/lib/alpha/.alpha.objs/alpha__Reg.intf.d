@@ -1,0 +1,1 @@
+lib/alpha/reg.mli:

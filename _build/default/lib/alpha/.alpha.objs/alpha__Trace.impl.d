@@ -1,0 +1,1 @@
+lib/alpha/trace.ml: Insn List Machine Reg

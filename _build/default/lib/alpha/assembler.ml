@@ -1,0 +1,460 @@
+(* Two-pass Alpha assembler.
+
+   Accepts the conventional Alpha assembly syntax produced by {!Disasm} and
+   by the MiniC code generator, plus a small set of directives and
+   pseudo-instructions:
+
+   - directives: [.text .data .align .quad .long .word .byte .space .ascii
+     .asciz .globl]
+   - pseudos: [mov], [clr], [nop], [ldiq rc, imm64] (expands to the shortest
+     LDA/LDAH/SLL sequence), [la rc, label] (absolute address via LDAH+LDA),
+     [beq ra, label] and friends, [br label], [bsr label], [jsr (rb)], [ret].
+
+   Comments run from [;] or [//] to end of line. Pass 1 sizes statements and
+   assigns label addresses; pass 2 resolves and encodes. *)
+
+exception Error of { line : int; msg : string }
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+(* ---------- tokens ---------- *)
+
+type tok = Id of string | Int of int64 | Str of string | Comma | LPar | RPar | Colon
+
+let is_id_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let tokenize lineno s =
+  let toks = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  (try
+     while !i < n do
+       let c = s.[!i] in
+       if c = ' ' || c = '\t' || c = '\r' then incr i
+       else if c = ';' then raise Exit
+       else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then raise Exit
+       else if c = ',' then (push Comma; incr i)
+       else if c = '(' then (push LPar; incr i)
+       else if c = ')' then (push RPar; incr i)
+       else if c = ':' then (push Colon; incr i)
+       else if c = '"' then begin
+         let b = Buffer.create 16 in
+         incr i;
+         while !i < n && s.[!i] <> '"' do
+           if s.[!i] = '\\' && !i + 1 < n then begin
+             (match s.[!i + 1] with
+             | 'n' -> Buffer.add_char b '\n'
+             | 't' -> Buffer.add_char b '\t'
+             | '0' -> Buffer.add_char b '\000'
+             | c -> Buffer.add_char b c);
+             i := !i + 2
+           end
+           else begin
+             Buffer.add_char b s.[!i];
+             incr i
+           end
+         done;
+         if !i >= n then fail lineno "unterminated string";
+         incr i;
+         push (Str (Buffer.contents b))
+       end
+       else if c = '\'' then begin
+         if !i + 2 >= n || s.[!i + 2] <> '\'' then fail lineno "bad char literal";
+         push (Int (Int64.of_int (Char.code s.[!i + 1])));
+         i := !i + 3
+       end
+       else if c = '-' || (c >= '0' && c <= '9') then begin
+         let start = !i in
+         if c = '-' then incr i;
+         while !i < n && (is_id_char s.[!i]) do incr i done;
+         let text = String.sub s start (!i - start) in
+         match Int64.of_string_opt text with
+         | Some v -> push (Int v)
+         | None -> fail lineno "bad number %S" text
+       end
+       else if c = '#' then incr i (* literal marker, optional *)
+       else if is_id_char c then begin
+         let start = !i in
+         while !i < n && is_id_char s.[!i] do incr i done;
+         push (Id (String.sub s start (!i - start)))
+       end
+       else fail lineno "unexpected character %C" c
+     done
+   with Exit -> ());
+  List.rev !toks
+
+(* ---------- parsed statements ---------- *)
+
+type operand =
+  | O_reg of int
+  | O_imm of int64
+  | O_mem of int64 * int (* disp(rb) *)
+  | O_sym of string * int (* label+offset *)
+
+type stmt =
+  | S_label of string
+  | S_insn of string * operand list
+  | S_dir of string * operand list
+  | S_str_dir of string * string (* .ascii/.asciz *)
+
+let parse_operand lineno toks =
+  match toks with
+  | Id x :: rest when Reg.of_string x <> None ->
+    (O_reg (Option.get (Reg.of_string x)), rest)
+  | Int d :: LPar :: Id r :: RPar :: rest -> (
+    match Reg.of_string r with
+    | Some r -> (O_mem (d, r), rest)
+    | None -> fail lineno "bad base register %S" r)
+  | LPar :: Id r :: RPar :: rest -> (
+    match Reg.of_string r with
+    | Some r -> (O_mem (0L, r), rest)
+    | None -> fail lineno "bad base register %S" r)
+  | Int v :: rest -> (O_imm v, rest)
+  | Id x :: Int off :: rest when Int64.compare off 0L < 0 ->
+    (* label-123 tokenizes as Id, negative Int *)
+    (O_sym (x, Int64.to_int off), rest)
+  | Id x :: rest -> (O_sym (x, 0), rest)
+  | _ -> fail lineno "cannot parse operand"
+
+let parse_operands lineno toks =
+  let rec go acc toks =
+    let op, rest = parse_operand lineno toks in
+    match rest with
+    | Comma :: rest -> go (op :: acc) rest
+    | [] -> List.rev (op :: acc)
+    | _ -> fail lineno "junk after operand"
+  in
+  match toks with [] -> [] | _ -> go [] toks
+
+let parse_line lineno s : stmt list =
+  let toks = tokenize lineno s in
+  let rec go acc toks =
+    match toks with
+    | [] -> List.rev acc
+    | Id name :: Colon :: rest -> go (S_label name :: acc) rest
+    | Id d :: rest when d.[0] = '.' -> (
+      match (d, rest) with
+      | (".ascii" | ".asciz"), [ Str s ] -> List.rev (S_str_dir (d, s) :: acc)
+      | _ -> List.rev (S_dir (d, parse_operands lineno rest) :: acc))
+    | Id op :: rest ->
+      List.rev (S_insn (String.lowercase_ascii op, parse_operands lineno rest) :: acc)
+    | _ -> fail lineno "cannot parse line"
+  in
+  go [] toks
+
+(* ---------- instruction templates ----------
+
+   Pass 1 needs only the *count* of machine instructions a statement expands
+   to; pass 2 emits them with resolved symbols. We therefore expand each
+   statement into a closure producing [Insn.t list] given the symbol table,
+   with a size known up front. *)
+
+let mem_ops =
+  [ ("ldq", Insn.Ldq); ("ldl", Ldl); ("ldwu", Ldwu); ("ldbu", Ldbu);
+    ("stq", Stq); ("stl", Stl); ("stw", Stw); ("stb", Stb); ("lda", Lda);
+    ("ldah", Ldah) ]
+
+let opr_ops =
+  [ ("addl", Insn.Addl); ("addq", Addq); ("subl", Subl); ("subq", Subq);
+    ("s4addl", S4addl); ("s4addq", S4addq); ("s8addl", S8addl);
+    ("s8addq", S8addq); ("s4subl", S4subl); ("s4subq", S4subq);
+    ("s8subl", S8subl); ("s8subq", S8subq); ("cmpeq", Cmpeq);
+    ("cmplt", Cmplt); ("cmple", Cmple); ("cmpult", Cmpult); ("cmpule", Cmpule);
+    ("and", And_); ("bic", Bic); ("bis", Bis); ("or", Bis); ("ornot", Ornot);
+    ("xor", Xor); ("eqv", Eqv); ("sll", Sll); ("srl", Srl); ("sra", Sra);
+    ("extbl", Extbl); ("extwl", Extwl); ("extll", Extll); ("extql", Extql);
+    ("extwh", Extwh); ("extlh", Extlh); ("extqh", Extqh);
+    ("insbl", Insbl); ("inswl", Inswl); ("insll", Insll); ("insql", Insql);
+    ("mskbl", Mskbl); ("mskwl", Mskwl); ("mskll", Mskll); ("mskql", Mskql);
+    ("zap", Zap); ("zapnot", Zapnot); ("cmpbge", Cmpbge); ("mull", Mull);
+    ("mulq", Mulq); ("umulh", Umulh); ("cmoveq", Cmoveq); ("cmovne", Cmovne);
+    ("cmovlt", Cmovlt); ("cmovge", Cmovge); ("cmovle", Cmovle);
+    ("cmovgt", Cmovgt); ("cmovlbs", Cmovlbs); ("cmovlbc", Cmovlbc);
+    ("sextb", Sextb); ("sextw", Sextw); ("ctpop", Ctpop); ("ctlz", Ctlz);
+    ("cttz", Cttz) ]
+
+let bc_ops =
+  [ ("beq", Insn.Eq); ("bne", Ne); ("blt", Lt); ("bge", Ge); ("ble", Le);
+    ("bgt", Gt); ("blbc", Lbc); ("blbs", Lbs) ]
+
+(* Shortest LDA/LDAH/SLL sequence materializing [v] into [rc].
+   The decomposition below is verified by construction: each step's
+   contribution is subtracted exactly, and qcheck tests reconstruct random
+   values. *)
+let rec expand_ldiq rc v : Insn.t list =
+  let sext16 x = Int64.shift_right (Int64.shift_left x 48) 48 in
+  let fits16 x = Int64.equal (sext16 x) x in
+  let sext32 x = Int64.of_int32 (Int64.to_int32 x) in
+  let fits32 x = Int64.equal (sext32 x) x in
+  let lo_hi v =
+    (* v = (hi <<16) + lo with lo,hi signed 16-bit, assuming v fits 32+1... *)
+    let lo = sext16 (Int64.logand v 0xffffL) in
+    let hi = Int64.shift_right (Int64.sub v lo) 16 in
+    (Int64.to_int lo, Int64.to_int hi)
+  in
+  if fits16 v then [ Insn.Mem (Lda, rc, Int64.to_int v, Reg.zero) ]
+  else if fits32 v && snd (lo_hi v) >= -32768 && snd (lo_hi v) <= 32767 then
+    let lo, hi = lo_hi v in
+    [ Insn.Mem (Ldah, rc, hi, Reg.zero); Insn.Mem (Lda, rc, lo, rc) ]
+  else begin
+    (* 64-bit: materialize the upper 48 bits shifted down, shift left 16,
+       then add the low 16 via LDA. Repeat recursively. *)
+    let lo = sext16 (Int64.logand v 0xffffL) in
+    let upper = Int64.shift_right (Int64.sub v lo) 16 in
+    expand_ldiq rc upper
+    @ [ Insn.Opr (Sll, rc, Imm 16, rc); Insn.Mem (Lda, rc, Int64.to_int lo, rc) ]
+  end
+
+(* One statement expanded: [size] machine instructions; [emit] is given the
+   statement's own address and the symbol resolver. *)
+type expansion = { size : int; emit : addr:int -> (string -> int) -> Insn.t list }
+
+let fixed insns = { size = List.length insns; emit = (fun ~addr:_ _ -> insns) }
+
+let expand_insn lineno op (args : operand list) : expansion =
+  let reg = function
+    | O_reg r -> r
+    | _ -> fail lineno "expected register operand for %s" op
+  in
+  let imm_or_reg = function
+    | O_reg r -> Insn.Rb r
+    | O_imm v ->
+      if Int64.compare v 0L < 0 || Int64.compare v 255L > 0 then
+        fail lineno "literal out of range for %s" op
+      else Insn.Imm (Int64.to_int v)
+    | _ -> fail lineno "expected register or literal for %s" op
+  in
+  let branch_disp ~addr resolve = function
+    | O_sym (s, off) -> ((resolve s + off - (addr + 4)) asr 2)
+    | O_imm v -> Int64.to_int v
+    | _ -> fail lineno "expected branch target for %s" op
+  in
+  match (op, args) with
+  | _, _ when List.mem_assoc op mem_ops -> (
+    let m = List.assoc op mem_ops in
+    match args with
+    | [ ra; O_mem (d, rb) ] ->
+      fixed [ Insn.Mem (m, reg ra, Int64.to_int d, rb) ]
+    | [ ra; O_imm d ] when op = "lda" || op = "ldah" ->
+      fixed [ Insn.Mem (m, reg ra, Int64.to_int d, Reg.zero) ]
+    | [ ra; O_imm d; O_reg rb ] ->
+      (* "lda ra, d, rb" alternative syntax *)
+      fixed [ Insn.Mem (m, reg ra, Int64.to_int d, rb) ]
+    | _ -> fail lineno "bad operands for %s" op)
+  | _, _ when List.mem_assoc op opr_ops -> (
+    let o = List.assoc op opr_ops in
+    match (o, args) with
+    | (Sextb | Sextw | Ctpop | Ctlz | Cttz), [ b; rc ] ->
+      fixed [ Insn.Opr (o, Reg.zero, imm_or_reg b, reg rc) ]
+    | _, [ ra; b; rc ] -> fixed [ Insn.Opr (o, reg ra, imm_or_reg b, reg rc) ]
+    | _ -> fail lineno "bad operands for %s" op)
+  | "sextb", [ b; rc ] | "sextw", [ b; rc ] ->
+    let o = if op = "sextb" then Insn.Sextb else Insn.Sextw in
+    fixed [ Insn.Opr (o, Reg.zero, imm_or_reg b, reg rc) ]
+  | _, _ when List.mem_assoc op bc_ops ->
+    let c = List.assoc op bc_ops in
+    (match args with
+    | [ ra; target ] ->
+      let ra = reg ra in
+      {
+        size = 1;
+        emit =
+          (fun ~addr resolve ->
+            [ Insn.Bc (c, ra, branch_disp ~addr resolve target) ]);
+      }
+    | _ -> fail lineno "bad operands for %s" op)
+  | "br", [ target ] | "br", [ O_reg 31; target ] ->
+    { size = 1;
+      emit = (fun ~addr resolve ->
+          [ Insn.Br (Reg.zero, branch_disp ~addr resolve target) ]) }
+  | "br", [ ra; target ] ->
+    let ra = reg ra in
+    { size = 1;
+      emit = (fun ~addr resolve ->
+          [ Insn.Br (ra, branch_disp ~addr resolve target) ]) }
+  | "bsr", [ target ] ->
+    { size = 1;
+      emit = (fun ~addr resolve ->
+          [ Insn.Bsr (Reg.ra, branch_disp ~addr resolve target) ]) }
+  | "bsr", [ ra; target ] ->
+    let ra = reg ra in
+    { size = 1;
+      emit = (fun ~addr resolve ->
+          [ Insn.Bsr (ra, branch_disp ~addr resolve target) ]) }
+  | "jmp", [ O_mem (0L, rb) ] -> fixed [ Insn.Jump (Jmp, Reg.zero, rb) ]
+  | "jmp", [ ra; O_mem (0L, rb) ] -> fixed [ Insn.Jump (Jmp, reg ra, rb) ]
+  | "jsr", [ O_mem (0L, rb) ] -> fixed [ Insn.Jump (Jsr, Reg.ra, rb) ]
+  | "jsr", [ ra; O_mem (0L, rb) ] -> fixed [ Insn.Jump (Jsr, reg ra, rb) ]
+  | "ret", [] -> fixed [ Insn.Jump (Ret, Reg.zero, Reg.ra) ]
+  | "ret", [ O_mem (0L, rb) ] -> fixed [ Insn.Jump (Ret, Reg.zero, rb) ]
+  | "ret", [ ra; O_mem (0L, rb) ] -> fixed [ Insn.Jump (Ret, reg ra, rb) ]
+  | "call_pal", [ O_imm f ] -> fixed [ Insn.Call_pal (Int64.to_int f) ]
+  | "nop", [] -> fixed [ Insn.Opr (Bis, Reg.zero, Rb Reg.zero, Reg.zero) ]
+  | "clr", [ rc ] -> fixed [ Insn.Opr (Bis, Reg.zero, Rb Reg.zero, reg rc) ]
+  | "mov", [ O_reg rs; rc ] ->
+    fixed [ Insn.Opr (Bis, rs, Rb rs, reg rc) ]
+  | "mov", [ O_imm v; rc ] | "ldiq", [ rc; O_imm v ] ->
+    fixed (expand_ldiq (reg rc) v)
+  | "la", [ rc; O_sym (s, off) ] ->
+    let rc = reg rc in
+    {
+      size = 2;
+      emit =
+        (fun ~addr:_ resolve ->
+          let v = Int64.of_int (resolve s + off) in
+          let lo = Int64.shift_right (Int64.shift_left (Int64.logand v 0xffffL) 48) 48 in
+          let hi = Int64.shift_right (Int64.sub v lo) 16 in
+          [ Insn.Mem (Ldah, rc, Int64.to_int hi, Reg.zero);
+            Insn.Mem (Lda, rc, Int64.to_int lo, rc) ]);
+    }
+  | _ -> fail lineno "unknown instruction %S (%d operands)" op (List.length args)
+
+(* ---------- two-pass assembly ---------- *)
+
+type item =
+  | I_insns of int * expansion (* line, expansion *)
+  | I_bytes of string
+  | I_align of int
+  | I_space of int
+  | I_quad_sym of string * int (* .quad label+off *)
+  | I_word of int * int64 (* width in bytes, value *)
+
+let assemble ?(text_base = Program.text_base) ?(data_base = Program.data_base)
+    source : Program.t =
+  let symbols : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let text_items = ref [] and data_items = ref [] in
+  let in_text = ref true in
+  let text_pc = ref text_base and data_pc = ref data_base in
+  let add item =
+    let size =
+      match item with
+      | I_insns (_, e) -> 4 * e.size
+      | I_bytes s -> String.length s
+      | I_align a ->
+        let pc = if !in_text then !text_pc else !data_pc in
+        (a - (pc mod a)) mod a
+      | I_space n -> n
+      | I_quad_sym _ -> 8
+      | I_word (w, _) -> w
+    in
+    if !in_text then begin
+      text_items := (item, !text_pc) :: !text_items;
+      text_pc := !text_pc + size
+    end
+    else begin
+      data_items := (item, !data_pc) :: !data_items;
+      data_pc := !data_pc + size
+    end
+  in
+  (* pass 1 *)
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      List.iter
+        (function
+          | S_label name ->
+            if Hashtbl.mem symbols name then fail lineno "duplicate label %S" name;
+            Hashtbl.replace symbols name (if !in_text then !text_pc else !data_pc)
+          | S_insn (op, args) -> add (I_insns (lineno, expand_insn lineno op args))
+          | S_str_dir (".ascii", s) -> add (I_bytes s)
+          | S_str_dir (".asciz", s) -> add (I_bytes (s ^ "\000"))
+          | S_str_dir (d, _) -> fail lineno "unknown string directive %S" d
+          | S_dir (".text", _) -> in_text := true
+          | S_dir (".data", _) -> in_text := false
+          | S_dir (".globl", _) | S_dir (".ent", _) | S_dir (".end", _) -> ()
+          | S_dir (".align", [ O_imm a ]) -> add (I_align (Int64.to_int a))
+          | S_dir (".space", [ O_imm n ]) -> add (I_space (Int64.to_int n))
+          | S_dir (".quad", args) ->
+            List.iter
+              (function
+                | O_imm v -> add (I_word (8, v))
+                | O_sym (s, off) -> add (I_quad_sym (s, off))
+                | _ -> fail lineno "bad .quad operand")
+              args
+          | S_dir (".long", args) ->
+            List.iter
+              (function
+                | O_imm v -> add (I_word (4, v))
+                | _ -> fail lineno "bad .long operand")
+              args
+          | S_dir (".word", args) ->
+            List.iter
+              (function
+                | O_imm v -> add (I_word (2, v))
+                | _ -> fail lineno "bad .word operand")
+              args
+          | S_dir (".byte", args) ->
+            List.iter
+              (function
+                | O_imm v -> add (I_word (1, v))
+                | _ -> fail lineno "bad .byte operand")
+              args
+          | S_dir (d, _) -> fail lineno "unknown directive %S" d)
+        (parse_line lineno line))
+    lines;
+  (* pass 2 *)
+  let resolve_at lineno name =
+    match Hashtbl.find_opt symbols name with
+    | Some a -> a
+    | None -> fail lineno "undefined symbol %S" name
+  in
+  let emit_section items =
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun (item, addr) ->
+        match item with
+        | I_insns (lineno, e) ->
+          let insns = e.emit ~addr (resolve_at lineno) in
+          List.iteri
+            (fun i insn ->
+              let w =
+                try Encode.encode insn
+                with Encode.Unencodable msg -> fail lineno "%s" msg
+              in
+              ignore i;
+              Buffer.add_char b (Char.chr (w land 0xff));
+              Buffer.add_char b (Char.chr ((w lsr 8) land 0xff));
+              Buffer.add_char b (Char.chr ((w lsr 16) land 0xff));
+              Buffer.add_char b (Char.chr ((w lsr 24) land 0xff)))
+            insns
+        | I_bytes s -> Buffer.add_string b s
+        | I_align a ->
+          let pad = (a - (addr mod a)) mod a in
+          Buffer.add_string b (String.make pad '\000')
+        | I_space n -> Buffer.add_string b (String.make n '\000')
+        | I_quad_sym (s, off) ->
+          let v = Int64.of_int (resolve_at 0 s + off) in
+          for i = 0 to 7 do
+            Buffer.add_char b
+              (Char.chr
+                 (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+          done
+        | I_word (w, v) ->
+          for i = 0 to w - 1 do
+            Buffer.add_char b
+              (Char.chr
+                 (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+          done)
+      (List.rev items);
+    Buffer.contents b
+  in
+  let text = emit_section !text_items in
+  let data = emit_section !data_items in
+  let entry =
+    match
+      (Hashtbl.find_opt symbols "_start", Hashtbl.find_opt symbols "main")
+    with
+    | Some a, _ -> a
+    | None, Some a -> a
+    | None, None -> text_base
+  in
+  {
+    Program.text = { base = text_base; bytes = text };
+    data = { base = data_base; bytes = data };
+    entry;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [];
+  }

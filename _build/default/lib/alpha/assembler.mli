@@ -1,0 +1,18 @@
+(** Two-pass Alpha assembler.
+
+    Accepts the conventional syntax produced by {!Disasm} and the MiniC
+    code generator, plus directives ([.text .data .align .quad .long .word
+    .byte .space .ascii .asciz .globl]) and pseudo-instructions ([mov],
+    [clr], [nop], [ldiq] — shortest LDA/LDAH/SLL expansion — [la], branch
+    mnemonics with label targets, [jsr (rb)], [ret]). Comments run from
+    [;] or [//] to end of line. *)
+
+exception Error of { line : int; msg : string }
+
+val expand_ldiq : int -> int64 -> Insn.t list
+(** The shortest LDA/LDAH/SLL sequence materialising a 64-bit constant into
+    a register (exposed for tests). *)
+
+val assemble : ?text_base:int -> ?data_base:int -> string -> Program.t
+(** Assemble a source text into a loadable program image.
+    Raises {!Error} with a line number on any problem. *)

@@ -1,0 +1,130 @@
+(* Alpha 32-bit instruction decoder (inverse of {!Encode}). *)
+
+type error = { word : int; reason : string }
+
+let err word reason = Error { word; reason }
+
+let sext ~bits v =
+  let shift = 64 - bits in
+  Int64.to_int (Int64.shift_right (Int64.shift_left (Int64.of_int v) shift) shift)
+
+let mem_op_of_opcode : int -> Insn.mem_op option = function
+  | 0x08 -> Some Lda
+  | 0x09 -> Some Ldah
+  | 0x0a -> Some Ldbu
+  | 0x0c -> Some Ldwu
+  | 0x0d -> Some Stw
+  | 0x0e -> Some Stb
+  | 0x28 -> Some Ldl
+  | 0x29 -> Some Ldq
+  | 0x2c -> Some Stl
+  | 0x2d -> Some Stq
+  | _ -> None
+
+let opr_of_codes opc func : Insn.op3 option =
+  match (opc, func) with
+  | 0x10, 0x00 -> Some Addl
+  | 0x10, 0x02 -> Some S4addl
+  | 0x10, 0x09 -> Some Subl
+  | 0x10, 0x0b -> Some S4subl
+  | 0x10, 0x12 -> Some S8addl
+  | 0x10, 0x1b -> Some S8subl
+  | 0x10, 0x0f -> Some Cmpbge
+  | 0x10, 0x1d -> Some Cmpult
+  | 0x10, 0x20 -> Some Addq
+  | 0x10, 0x22 -> Some S4addq
+  | 0x10, 0x29 -> Some Subq
+  | 0x10, 0x2b -> Some S4subq
+  | 0x10, 0x2d -> Some Cmpeq
+  | 0x10, 0x32 -> Some S8addq
+  | 0x10, 0x3b -> Some S8subq
+  | 0x10, 0x3d -> Some Cmpule
+  | 0x10, 0x4d -> Some Cmplt
+  | 0x10, 0x6d -> Some Cmple
+  | 0x11, 0x00 -> Some And_
+  | 0x11, 0x08 -> Some Bic
+  | 0x11, 0x14 -> Some Cmovlbs
+  | 0x11, 0x16 -> Some Cmovlbc
+  | 0x11, 0x20 -> Some Bis
+  | 0x11, 0x24 -> Some Cmoveq
+  | 0x11, 0x26 -> Some Cmovne
+  | 0x11, 0x28 -> Some Ornot
+  | 0x11, 0x40 -> Some Xor
+  | 0x11, 0x44 -> Some Cmovlt
+  | 0x11, 0x46 -> Some Cmovge
+  | 0x11, 0x48 -> Some Eqv
+  | 0x11, 0x64 -> Some Cmovle
+  | 0x11, 0x66 -> Some Cmovgt
+  | 0x12, 0x02 -> Some Mskbl
+  | 0x12, 0x06 -> Some Extbl
+  | 0x12, 0x0b -> Some Insbl
+  | 0x12, 0x12 -> Some Mskwl
+  | 0x12, 0x16 -> Some Extwl
+  | 0x12, 0x1b -> Some Inswl
+  | 0x12, 0x22 -> Some Mskll
+  | 0x12, 0x26 -> Some Extll
+  | 0x12, 0x2b -> Some Insll
+  | 0x12, 0x30 -> Some Zap
+  | 0x12, 0x31 -> Some Zapnot
+  | 0x12, 0x32 -> Some Mskql
+  | 0x12, 0x34 -> Some Srl
+  | 0x12, 0x36 -> Some Extql
+  | 0x12, 0x39 -> Some Sll
+  | 0x12, 0x3b -> Some Insql
+  | 0x12, 0x3c -> Some Sra
+  | 0x12, 0x5a -> Some Extwh
+  | 0x12, 0x6a -> Some Extlh
+  | 0x12, 0x7a -> Some Extqh
+  | 0x13, 0x00 -> Some Mull
+  | 0x13, 0x20 -> Some Mulq
+  | 0x13, 0x30 -> Some Umulh
+  | 0x1c, 0x00 -> Some Sextb
+  | 0x1c, 0x01 -> Some Sextw
+  | 0x1c, 0x30 -> Some Ctpop
+  | 0x1c, 0x32 -> Some Ctlz
+  | 0x1c, 0x33 -> Some Cttz
+  | _ -> None
+
+let bc_of_opcode : int -> Insn.cond option = function
+  | 0x38 -> Some Lbc
+  | 0x39 -> Some Eq
+  | 0x3a -> Some Lt
+  | 0x3b -> Some Le
+  | 0x3c -> Some Lbs
+  | 0x3d -> Some Ne
+  | 0x3e -> Some Ge
+  | 0x3f -> Some Gt
+  | _ -> None
+
+(* Decode a 32-bit instruction word. *)
+let decode word : (Insn.t, error) result =
+  let opc = (word lsr 26) land 0x3f in
+  let ra = (word lsr 21) land 0x1f in
+  let rb = (word lsr 16) land 0x1f in
+  match opc with
+  | 0x00 -> Ok (Call_pal (word land 0x3ffffff))
+  | 0x1a -> (
+    match (word lsr 14) land 3 with
+    | 0 -> Ok (Jump (Jmp, ra, rb))
+    | 1 -> Ok (Jump (Jsr, ra, rb))
+    | 2 -> Ok (Jump (Ret, ra, rb))
+    | _ -> err word "JSR_COROUTINE not supported")
+  | 0x30 -> Ok (Br (ra, sext ~bits:21 (word land 0x1fffff)))
+  | 0x34 -> Ok (Bsr (ra, sext ~bits:21 (word land 0x1fffff)))
+  | _ when opc >= 0x38 -> (
+    match bc_of_opcode opc with
+    | Some c -> Ok (Bc (c, ra, sext ~bits:21 (word land 0x1fffff)))
+    | None -> err word "unknown branch opcode")
+  | 0x10 | 0x11 | 0x12 | 0x13 | 0x1c -> (
+    let func = (word lsr 5) land 0x7f in
+    let rc = word land 0x1f in
+    match opr_of_codes opc func with
+    | None -> err word (Printf.sprintf "unknown operate %x.%02x" opc func)
+    | Some op ->
+      if (word lsr 12) land 1 = 1 then
+        Ok (Opr (op, ra, Imm ((word lsr 13) land 0xff), rc))
+      else Ok (Opr (op, ra, Rb rb, rc)))
+  | _ -> (
+    match mem_op_of_opcode opc with
+    | Some m -> Ok (Mem (m, ra, sext ~bits:16 (word land 0xffff), rb))
+    | None -> err word (Printf.sprintf "unknown opcode %#x" opc))

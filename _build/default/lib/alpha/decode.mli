@@ -1,0 +1,6 @@
+(** Alpha 32-bit instruction decoder (inverse of {!Encode}). *)
+
+type error = { word : int; reason : string }
+
+val decode : int -> (Insn.t, error) result
+(** Decode one 32-bit instruction word. *)

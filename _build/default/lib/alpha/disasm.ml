@@ -1,0 +1,77 @@
+(* Alpha (and VM-extension) instruction pretty-printer.
+
+   Output follows the conventional Alpha assembly syntax the {!Assembler}
+   accepts, so `to_string` output for conventional instructions re-assembles
+   to the same encoding (tested as a property). *)
+
+let mem_name : Insn.mem_op -> string = function
+  | Ldq -> "ldq"
+  | Ldl -> "ldl"
+  | Ldwu -> "ldwu"
+  | Ldbu -> "ldbu"
+  | Stq -> "stq"
+  | Stl -> "stl"
+  | Stw -> "stw"
+  | Stb -> "stb"
+  | Lda -> "lda"
+  | Ldah -> "ldah"
+
+let opr_name : Insn.op3 -> string = function
+  | Addl -> "addl" | Addq -> "addq" | Subl -> "subl" | Subq -> "subq"
+  | S4addl -> "s4addl" | S4addq -> "s4addq" | S8addl -> "s8addl"
+  | S8addq -> "s8addq" | S4subl -> "s4subl" | S4subq -> "s4subq"
+  | S8subl -> "s8subl" | S8subq -> "s8subq"
+  | Cmpeq -> "cmpeq" | Cmplt -> "cmplt" | Cmple -> "cmple"
+  | Cmpult -> "cmpult" | Cmpule -> "cmpule" | Cmpbge -> "cmpbge"
+  | And_ -> "and" | Bic -> "bic" | Bis -> "bis" | Ornot -> "ornot"
+  | Xor -> "xor" | Eqv -> "eqv"
+  | Sll -> "sll" | Srl -> "srl" | Sra -> "sra"
+  | Extbl -> "extbl" | Extwl -> "extwl" | Extll -> "extll" | Extql -> "extql"
+  | Extwh -> "extwh" | Extlh -> "extlh" | Extqh -> "extqh"
+  | Insbl -> "insbl" | Inswl -> "inswl" | Insll -> "insll" | Insql -> "insql"
+  | Mskbl -> "mskbl" | Mskwl -> "mskwl" | Mskll -> "mskll" | Mskql -> "mskql"
+  | Zap -> "zap" | Zapnot -> "zapnot"
+  | Mull -> "mull" | Mulq -> "mulq" | Umulh -> "umulh"
+  | Sextb -> "sextb" | Sextw -> "sextw"
+  | Ctpop -> "ctpop" | Ctlz -> "ctlz" | Cttz -> "cttz"
+  | Cmoveq -> "cmoveq" | Cmovne -> "cmovne" | Cmovlt -> "cmovlt"
+  | Cmovge -> "cmovge" | Cmovle -> "cmovle" | Cmovgt -> "cmovgt"
+  | Cmovlbs -> "cmovlbs" | Cmovlbc -> "cmovlbc"
+
+let cond_name : Insn.cond -> string = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Ge -> "ge"
+  | Le -> "le" | Gt -> "gt" | Lbc -> "lbc" | Lbs -> "lbs"
+
+let reg = Reg.to_string
+
+let to_string : Insn.t -> string = function
+  | Mem (op, ra, disp, rb) ->
+    Printf.sprintf "%s %s, %d(%s)" (mem_name op) (reg ra) disp (reg rb)
+  | Opr (op, ra, Rb rb, rc) when Insn.is_cmov (Opr (op, ra, Rb rb, rc)) ->
+    Printf.sprintf "%s %s, %s, %s" (opr_name op) (reg ra) (reg rb) (reg rc)
+  | Opr ((Sextb | Sextw) as op, _, operand, rc) ->
+    (match operand with
+    | Rb rb -> Printf.sprintf "%s %s, %s" (opr_name op) (reg rb) (reg rc)
+    | Imm i -> Printf.sprintf "%s #%d, %s" (opr_name op) i (reg rc))
+  | Opr (op, ra, Rb rb, rc) ->
+    Printf.sprintf "%s %s, %s, %s" (opr_name op) (reg ra) (reg rb) (reg rc)
+  | Opr (op, ra, Imm i, rc) ->
+    Printf.sprintf "%s %s, #%d, %s" (opr_name op) (reg ra) i (reg rc)
+  | Br (ra, disp) -> Printf.sprintf "br %s, .%+d" (reg ra) disp
+  | Bsr (ra, disp) -> Printf.sprintf "bsr %s, .%+d" (reg ra) disp
+  | Bc (c, ra, disp) ->
+    Printf.sprintf "b%s %s, .%+d" (cond_name c) (reg ra) disp
+  | Jump (Jmp, ra, rb) -> Printf.sprintf "jmp %s, (%s)" (reg ra) (reg rb)
+  | Jump (Jsr, ra, rb) -> Printf.sprintf "jsr %s, (%s)" (reg ra) (reg rb)
+  | Jump (Ret, ra, rb) -> Printf.sprintf "ret %s, (%s)" (reg ra) (reg rb)
+  | Call_pal f -> Printf.sprintf "call_pal %#x" f
+  | Lta (ra, a) -> Printf.sprintf "lta %s, %#x" (reg ra) a
+  | Push_dras (ra, v, i) ->
+    Printf.sprintf "push_dras %s, v:%#x, i:%d" (reg ra) v i
+  | Ret_dras rb -> Printf.sprintf "ret_dras (%s)" (reg rb)
+  | Call_xlate e -> Printf.sprintf "call_xlate %d" e
+  | Call_xlate_cond (c, ra, e) ->
+    Printf.sprintf "call_xlate_%s %s, %d" (cond_name c) (reg ra) e
+  | Set_vbase v -> Printf.sprintf "set_vbase %#x" v
+
+let pp fmt i = Format.pp_print_string fmt (to_string i)

@@ -1,0 +1,11 @@
+(** Alpha (and VM-extension) pretty-printer.
+
+    Output for conventional instructions follows the assembly syntax that
+    {!Assembler} accepts, so it re-assembles to the same encoding (tested
+    as a property). *)
+
+val mem_name : Insn.mem_op -> string
+val opr_name : Insn.op3 -> string
+val cond_name : Insn.cond -> string
+val to_string : Insn.t -> string
+val pp : Format.formatter -> Insn.t -> unit

@@ -1,0 +1,146 @@
+(* Alpha 32-bit instruction encoder.
+
+   Uses the genuine Alpha AXP opcode and function-code assignments for the
+   implemented integer subset, so encoded images are bit-compatible with real
+   Alpha tools for these instructions. The co-designed VM extension
+   instructions exist only inside the translation cache and are rejected
+   here. *)
+
+exception Unencodable of string
+
+let mem_opcode : Insn.mem_op -> int = function
+  | Lda -> 0x08
+  | Ldah -> 0x09
+  | Ldbu -> 0x0a
+  | Ldwu -> 0x0c
+  | Stw -> 0x0d
+  | Stb -> 0x0e
+  | Ldl -> 0x28
+  | Ldq -> 0x29
+  | Stl -> 0x2c
+  | Stq -> 0x2d
+
+(* (major opcode, function code) for each operate-format instruction. *)
+let opr_code : Insn.op3 -> int * int = function
+  | Addl -> (0x10, 0x00)
+  | S4addl -> (0x10, 0x02)
+  | Subl -> (0x10, 0x09)
+  | S4subl -> (0x10, 0x0b)
+  | S8addl -> (0x10, 0x12)
+  | S8subl -> (0x10, 0x1b)
+  | Cmpult -> (0x10, 0x1d)
+  | Cmpbge -> (0x10, 0x0f)
+  | Addq -> (0x10, 0x20)
+  | S4addq -> (0x10, 0x22)
+  | Subq -> (0x10, 0x29)
+  | S4subq -> (0x10, 0x2b)
+  | Cmpeq -> (0x10, 0x2d)
+  | S8addq -> (0x10, 0x32)
+  | S8subq -> (0x10, 0x3b)
+  | Cmpule -> (0x10, 0x3d)
+  | Cmplt -> (0x10, 0x4d)
+  | Cmple -> (0x10, 0x6d)
+  | And_ -> (0x11, 0x00)
+  | Bic -> (0x11, 0x08)
+  | Cmovlbs -> (0x11, 0x14)
+  | Cmovlbc -> (0x11, 0x16)
+  | Bis -> (0x11, 0x20)
+  | Cmoveq -> (0x11, 0x24)
+  | Cmovne -> (0x11, 0x26)
+  | Ornot -> (0x11, 0x28)
+  | Xor -> (0x11, 0x40)
+  | Cmovlt -> (0x11, 0x44)
+  | Cmovge -> (0x11, 0x46)
+  | Eqv -> (0x11, 0x48)
+  | Cmovle -> (0x11, 0x64)
+  | Cmovgt -> (0x11, 0x66)
+  | Mskbl -> (0x12, 0x02)
+  | Extbl -> (0x12, 0x06)
+  | Insbl -> (0x12, 0x0b)
+  | Mskwl -> (0x12, 0x12)
+  | Extwl -> (0x12, 0x16)
+  | Inswl -> (0x12, 0x1b)
+  | Mskll -> (0x12, 0x22)
+  | Extll -> (0x12, 0x26)
+  | Insll -> (0x12, 0x2b)
+  | Zap -> (0x12, 0x30)
+  | Zapnot -> (0x12, 0x31)
+  | Mskql -> (0x12, 0x32)
+  | Srl -> (0x12, 0x34)
+  | Extql -> (0x12, 0x36)
+  | Sll -> (0x12, 0x39)
+  | Insql -> (0x12, 0x3b)
+  | Sra -> (0x12, 0x3c)
+  | Extwh -> (0x12, 0x5a)
+  | Extlh -> (0x12, 0x6a)
+  | Extqh -> (0x12, 0x7a)
+  | Mull -> (0x13, 0x00)
+  | Mulq -> (0x13, 0x20)
+  | Umulh -> (0x13, 0x30)
+  | Sextb -> (0x1c, 0x00)
+  | Sextw -> (0x1c, 0x01)
+  | Ctpop -> (0x1c, 0x30)
+  | Ctlz -> (0x1c, 0x32)
+  | Cttz -> (0x1c, 0x33)
+
+let bc_opcode : Insn.cond -> int = function
+  | Lbc -> 0x38
+  | Eq -> 0x39
+  | Lt -> 0x3a
+  | Le -> 0x3b
+  | Lbs -> 0x3c
+  | Ne -> 0x3d
+  | Ge -> 0x3e
+  | Gt -> 0x3f
+
+let jump_hint : Insn.jkind -> int = function Jmp -> 0 | Jsr -> 1 | Ret -> 2
+
+let check_disp16 d =
+  if d < -32768 || d > 32767 then
+    raise (Unencodable (Printf.sprintf "16-bit displacement out of range: %d" d))
+
+let check_disp21 d =
+  if d < -(1 lsl 20) || d >= 1 lsl 20 then
+    raise (Unencodable (Printf.sprintf "21-bit displacement out of range: %d" d))
+
+(* Encode one instruction to its 32-bit word. Raises {!Unencodable} for VM
+   extension instructions and out-of-range displacements/literals. *)
+let encode : Insn.t -> int = function
+  | Mem (op, ra, disp, rb) ->
+    check_disp16 disp;
+    (mem_opcode op lsl 26) lor (ra lsl 21) lor (rb lsl 16) lor (disp land 0xffff)
+  | Opr (op, ra, operand, rc) ->
+    let opc, func = opr_code op in
+    let base = (opc lsl 26) lor (ra lsl 21) lor (func lsl 5) lor rc in
+    (match operand with
+    | Rb rb -> base lor (rb lsl 16)
+    | Imm lit ->
+      if lit < 0 || lit > 255 then
+        raise (Unencodable (Printf.sprintf "literal out of range: %d" lit));
+      base lor (lit lsl 13) lor (1 lsl 12))
+  | Br (ra, disp) ->
+    check_disp21 disp;
+    (0x30 lsl 26) lor (ra lsl 21) lor (disp land 0x1fffff)
+  | Bsr (ra, disp) ->
+    check_disp21 disp;
+    (0x34 lsl 26) lor (ra lsl 21) lor (disp land 0x1fffff)
+  | Bc (c, ra, disp) ->
+    check_disp21 disp;
+    (bc_opcode c lsl 26) lor (ra lsl 21) lor (disp land 0x1fffff)
+  | Jump (k, ra, rb) ->
+    (0x1a lsl 26) lor (ra lsl 21) lor (rb lsl 16) lor (jump_hint k lsl 14)
+  | Call_pal f ->
+    if f < 0 || f >= 1 lsl 26 then raise (Unencodable "CALL_PAL function");
+    f
+  | (Lta _ | Push_dras _ | Ret_dras _ | Call_xlate _ | Call_xlate_cond _
+    | Set_vbase _) as i ->
+    raise
+      (Unencodable
+         (Printf.sprintf "VM extension instruction has no V-ISA encoding: %s"
+            (match i with
+            | Lta _ -> "lta"
+            | Push_dras _ -> "push_dras"
+            | Ret_dras _ -> "ret_dras"
+            | Call_xlate _ -> "call_xlate"
+            | Call_xlate_cond _ -> "call_xlate_cond"
+            | _ -> "set_vbase")))

@@ -1,0 +1,15 @@
+(** Alpha 32-bit instruction encoder, using the genuine Alpha AXP opcode
+    and function-code assignments for the implemented integer subset. *)
+
+exception Unencodable of string
+(** Raised for VM-extension instructions (which have no V-ISA encoding) and
+    out-of-range displacements or literals. *)
+
+val mem_opcode : Insn.mem_op -> int
+val opr_code : Insn.op3 -> int * int
+(** (major opcode, function code) of an operate-format instruction. *)
+
+val bc_opcode : Insn.cond -> int
+
+val encode : Insn.t -> int
+(** The instruction's 32-bit word. Raises {!Unencodable}. *)

@@ -1,0 +1,69 @@
+module Memory = Machine.Memory
+
+(* Assembled Alpha program images and the memory layout of the simulated
+   machine.
+
+   The address-space layout is fixed and simple (this is a co-designed VM
+   study, not an OS): text at [text_base], data at [data_base] followed by a
+   mapped heap, a 1 MiB stack below [stack_top], and one VM-private scratch
+   page used by translated code for register spills. Anything outside the
+   mapped regions faults, which is the precise-trap source used by the trap
+   experiments. *)
+
+let text_base = 0x10000
+let data_base = 0x200000
+let heap_size = 4 * 1024 * 1024
+let stack_top = 0x7f0000
+let stack_size = 1024 * 1024
+
+(* Scratch page owned by the VM runtime; straightened-Alpha chaining code
+   spills/reloads the registers it borrows here. Never visible to guest
+   semantics. *)
+let vm_scratch = 0xe0000
+
+type section = { base : int; bytes : string }
+
+type t = {
+  text : section;
+  data : section;
+  entry : int;
+  symbols : (string * int) list;
+}
+
+let symbol t name = List.assoc_opt name t.symbols
+
+(* Map all regions and install the program image into [mem]. *)
+let load t mem =
+  Memory.map mem ~addr:t.text.base ~len:(max 1 (String.length t.text.bytes));
+  Memory.map mem ~addr:t.data.base
+    ~len:(String.length t.data.bytes + heap_size);
+  Memory.map mem ~addr:(stack_top - stack_size) ~len:stack_size;
+  Memory.map mem ~addr:vm_scratch ~len:4096;
+  Memory.blit_string mem ~addr:t.text.base t.text.bytes;
+  Memory.blit_string mem ~addr:t.data.base t.data.bytes
+
+(* Address of the first unused data byte: workloads use this as the heap
+   start when they need dynamic-looking storage. *)
+let heap_base t = t.data.base + ((String.length t.data.bytes + 15) land lnot 15)
+
+let text_size t = String.length t.text.bytes
+
+(* Decode the full text section once; the interpreter executes from this
+   predecoded array (indexed by [(pc - text_base) / 4]) rather than decoding
+   at every fetch. *)
+let predecode t =
+  let n = String.length t.text.bytes / 4 in
+  Array.init n (fun i ->
+      let w =
+        Char.code t.text.bytes.[(4 * i) + 0]
+        lor (Char.code t.text.bytes.[(4 * i) + 1] lsl 8)
+        lor (Char.code t.text.bytes.[(4 * i) + 2] lsl 16)
+        lor (Char.code t.text.bytes.[(4 * i) + 3] lsl 24)
+      in
+      match Decode.decode w with
+      | Ok insn -> insn
+      | Error e ->
+        failwith
+          (Printf.sprintf "predecode: bad word %#x at %#x: %s" e.word
+             (t.text.base + (4 * i))
+             e.reason))

@@ -1,0 +1,38 @@
+(** Assembled Alpha program images and the simulated machine's fixed
+    address-space layout: text at {!text_base}, data + heap at
+    {!data_base}, a 1 MiB stack below {!stack_top}, one VM-private scratch
+    page. Anything outside the mapped regions faults (the precise-trap
+    source used by the trap experiments). *)
+
+val text_base : int
+val data_base : int
+val heap_size : int
+val stack_top : int
+val stack_size : int
+
+val vm_scratch : int
+(** Scratch page owned by the VM runtime; straightened-Alpha chaining code
+    spills the registers it borrows here. *)
+
+type section = { base : int; bytes : string }
+
+type t = {
+  text : section;
+  data : section;
+  entry : int;
+  symbols : (string * int) list;
+}
+
+val symbol : t -> string -> int option
+
+val load : t -> Machine.Memory.t -> unit
+(** Map all regions and install the image. *)
+
+val heap_base : t -> int
+(** First unused data address — workloads treat it as the heap start. *)
+
+val text_size : t -> int
+
+val predecode : t -> Insn.t array
+(** Decode the whole text section once; the interpreter executes from this
+    array rather than decoding at every fetch. *)

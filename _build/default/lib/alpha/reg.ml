@@ -1,0 +1,57 @@
+(* Alpha integer register file: names and calling convention.
+
+   Registers are plain ints 0..31; [zero] (r31) reads as zero and discards
+   writes. The OSF/Tru64 calling convention names are accepted by the
+   assembler and used by the MiniC code generator. *)
+
+type t = int
+
+let count = 32
+let zero = 31
+let v0 = 0
+let ra = 26
+let pv = 27 (* procedure value for indirect calls; also t12 *)
+let at = 28
+let gp = 29
+let sp = 30
+let fp = 15
+
+(* Argument registers a0..a5 = r16..r21. *)
+let arg i =
+  assert (i >= 0 && i < 6);
+  16 + i
+
+(* Caller-saved temporaries in allocation order: t0..t7, t8..t11. *)
+let temps = [| 1; 2; 3; 4; 5; 6; 7; 8; 22; 23; 24; 25 |]
+
+(* Callee-saved s0..s5 = r9..r14. *)
+let saved = [| 9; 10; 11; 12; 13; 14 |]
+
+let names =
+  [|
+    "v0"; "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "s0"; "s1"; "s2";
+    "s3"; "s4"; "s5"; "fp"; "a0"; "a1"; "a2"; "a3"; "a4"; "a5"; "t8"; "t9";
+    "t10"; "t11"; "ra"; "pv"; "at"; "gp"; "sp"; "zero";
+  |]
+
+let to_string r =
+  if r >= 0 && r < 32 then names.(r) else Printf.sprintf "r?%d" r
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  let numbered prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      int_of_string_opt (String.sub s n (String.length s - n))
+    else None
+  in
+  match numbered "$" with
+  | Some n when n >= 0 && n < 32 -> Some n
+  | _ -> (
+    match numbered "r" with
+    | Some n when n >= 0 && n < 32 -> Some n
+    | _ ->
+      let rec find i =
+        if i >= 32 then None else if names.(i) = s then Some i else find (i + 1)
+      in
+      find 0)

@@ -1,0 +1,38 @@
+(** Alpha integer registers: names and OSF calling convention.
+
+    Registers are plain ints 0..31; {!zero} (r31) reads as zero and
+    discards writes. *)
+
+type t = int
+
+val count : int
+val zero : t
+val v0 : t (** return value, r0 *)
+
+val ra : t (** return address, r26 *)
+
+val pv : t (** procedure value for indirect calls, r27 *)
+
+val at : t (** assembler temporary, r28 — borrowed by the straightening DBT *)
+
+val gp : t (** global pointer, r29 — borrowed by the straightening DBT *)
+
+val sp : t (** stack pointer, r30 *)
+
+val fp : t (** frame pointer, r15 *)
+
+val arg : int -> t
+(** [arg i] is a0..a5 (r16..r21) for [i] in 0..5. *)
+
+val temps : t array
+(** Caller-saved temporaries in allocation order: t0..t7, t8..t11. *)
+
+val saved : t array
+(** Callee-saved s0..s5. *)
+
+val names : string array
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts ABI names ([t3], [sp]), [rN] and [$N]. *)

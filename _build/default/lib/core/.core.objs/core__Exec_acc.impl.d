@@ -1,0 +1,1 @@
+lib/core/exec_acc.ml: Accisa Alpha Array Config Exitr Int64 Machine Option Tcache Translate

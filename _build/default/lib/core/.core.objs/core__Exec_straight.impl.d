@@ -1,0 +1,1 @@
+lib/core/exec_straight.ml: Alpha Array Config Exitr Int64 Machine Option Straighten Tcache Translate

@@ -1,0 +1,1 @@
+lib/core/node.ml: Accisa Alpha Array Int64 List Superblock

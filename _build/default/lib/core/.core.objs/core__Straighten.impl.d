@@ -1,0 +1,1 @@
+lib/core/straighten.ml: Alpha Array Config Cost Exitr Hashtbl Int64 List Machine Superblock Tcache Translate

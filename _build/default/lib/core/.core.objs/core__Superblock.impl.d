@@ -1,0 +1,1 @@
+lib/core/superblock.ml: Alpha Array Format Hashtbl List

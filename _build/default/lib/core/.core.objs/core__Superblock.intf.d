@@ -1,0 +1,1 @@
+lib/core/superblock.mli: Alpha Format

@@ -1,0 +1,1 @@
+lib/core/tcache.ml: Accisa Alpha Array Hashtbl List Machine Option Usage

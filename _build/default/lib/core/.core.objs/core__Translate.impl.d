@@ -1,0 +1,1 @@
+lib/core/translate.ml: Accisa Alpha Array Config Cost Exitr Hashtbl Int64 List Machine Node Superblock Tcache Usage

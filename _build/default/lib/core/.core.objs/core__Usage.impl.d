@@ -1,0 +1,1 @@
+lib/core/usage.ml: Array Hashtbl List Node

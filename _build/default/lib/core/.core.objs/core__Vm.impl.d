@@ -1,0 +1,1 @@
+lib/core/vm.ml: Alpha Config Cost Exec_acc Exec_straight Exitr Hashtbl Machine Option Straighten Superblock Tcache Translate

@@ -1,0 +1,50 @@
+(* DBT system configuration (paper Section 4.1 defaults). *)
+
+(* Target instruction-set format, paper Sections 2.1 and 2.3. *)
+type isa = Basic | Modified
+
+(* Fragment chaining implementation, paper Section 4.3:
+   - [No_pred]: every register-indirect transfer goes through the shared
+     dispatch code;
+   - [Sw_pred_no_ras]: translation-time software target prediction
+     (compare-and-branch) for all indirect transfers including returns;
+   - [Sw_pred_ras]: software prediction for indirect jumps plus the
+     dual-address hardware RAS for returns (the paper's baseline). *)
+type chaining = No_pred | Sw_pred_no_ras | Sw_pred_ras
+
+type t = {
+  isa : isa;
+  chaining : chaining;
+  hot_threshold : int; (* interpretations before a candidate becomes hot *)
+  max_superblock : int; (* maximum V-ISA instructions per superblock *)
+  n_accs : int; (* logical accumulators *)
+  stop_at_translated : bool;
+  (* end superblock formation on reaching an existing fragment entry
+     (Dynamo-style linking: less tail duplication, shorter fragments).
+     The paper's ending conditions do not include this; default off. *)
+  fuse_mem : bool;
+  (* keep the displacement inside I-ISA memory instructions instead of
+     splitting address computation into a separate instruction — the
+     expansion-reducing option the paper discusses in Section 4.5
+     ("this puts more pressure on decoding hardware but reduces pressure
+     on fetch and reorder buffer mechanisms"). Default off (Section 2.1's
+     addressing modes perform no computation). *)
+}
+
+let default =
+  {
+    isa = Modified;
+    chaining = Sw_pred_ras;
+    hot_threshold = 50;
+    max_superblock = 200;
+    n_accs = 4;
+    stop_at_translated = false;
+    fuse_mem = false;
+  }
+
+let isa_name = function Basic -> "basic" | Modified -> "modified"
+
+let chaining_name = function
+  | No_pred -> "no_pred"
+  | Sw_pred_no_ras -> "sw_pred.no_ras"
+  | Sw_pred_ras -> "sw_pred.ras"

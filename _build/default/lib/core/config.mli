@@ -1,0 +1,36 @@
+(** DBT system configuration (paper Section 4.1 defaults). *)
+
+(** Target instruction-set format, paper Sections 2.1 and 2.3. *)
+type isa = Basic | Modified
+
+(** Fragment chaining implementation, paper Section 4.3:
+    - [No_pred]: every register-indirect transfer goes through the shared
+      dispatch code;
+    - [Sw_pred_no_ras]: translation-time software target prediction
+      (compare-and-branch) for all indirect transfers including returns;
+    - [Sw_pred_ras]: software prediction for indirect jumps plus the
+      dual-address hardware RAS for returns (the paper's baseline). *)
+type chaining = No_pred | Sw_pred_no_ras | Sw_pred_ras
+
+type t = {
+  isa : isa;
+  chaining : chaining;
+  hot_threshold : int;  (** interpretations before a candidate becomes hot *)
+  max_superblock : int;  (** maximum V-ISA instructions per superblock *)
+  n_accs : int;  (** logical accumulators (4 in the paper, 8 in Fig. 9) *)
+  stop_at_translated : bool;
+      (** end superblock formation on reaching an existing fragment entry
+          (Dynamo-style linking). Not among the paper's ending conditions;
+          default off. *)
+  fuse_mem : bool;
+      (** keep displacements inside I-ISA memory instructions instead of
+          splitting address computation — the Section 4.5 option.
+          Default off. *)
+}
+
+val default : t
+(** Modified ISA, dual-RAS chaining, threshold 50, superblock 200, 4
+    accumulators — the paper's baseline. *)
+
+val isa_name : isa -> string
+val chaining_name : chaining -> string

@@ -1,0 +1,241 @@
+module Memory = Machine.Memory
+module Vec = Machine.Vec
+module I = Accisa.Insn
+
+(* Functional execution engine for translated accumulator-ISA code.
+
+   Architected Alpha registers are shared with the interpreter's register
+   file (the VM keeps one architected state); accumulators, VM scratch
+   registers and the dual-address RAS belong to this engine. Execution
+   proceeds slot by slot through the translation cache until a
+   call-translator instruction (or a fuel bound) hands control back to the
+   VM, optionally streaming one {!Machine.Ev.t} per committed instruction
+   into a timing sink.
+
+   Precise traps: a memory fault inside a fragment looks up the PEI table
+   entry for the faulting slot, restores any architected values still live
+   in accumulators via the recorded accumulator map, sets the interpreter's
+   PC to the V-ISA instruction, and reports [X_trap_recovered]; the VM then
+   re-executes that instruction by interpretation, which raises the
+   architectural trap with fully precise state. *)
+
+type stats = {
+  mutable i_exec : int; (* I-ISA instructions executed *)
+  by_class : int array; (* per Translate.slot_class *)
+  mutable alpha_retired : int; (* V-ISA instructions retired in fragments *)
+  mutable frag_enters : int;
+  mutable ret_dras_hits : int;
+  mutable ret_dras_misses : int;
+}
+
+type t = {
+  ctx : Translate.ctx;
+  interp : Alpha.Interp.t; (* shares architected registers and memory *)
+  scratch : int64 array; (* VM registers 32..63 *)
+  accs : int64 array;
+  preds : bool array; (* conditional-move predicate flag per accumulator *)
+  dras : Machine.Dual_ras.t;
+  mutable vbase : int;
+  stats : stats;
+}
+
+type exit =
+  | X_reason of Exitr.reason
+  | X_trap_recovered (* interpreter PC set to the faulting V-instruction *)
+  | X_fuel
+
+let create ctx interp =
+  Translate.map_vm_memory interp.Alpha.Interp.mem;
+  {
+    ctx;
+    interp;
+    scratch = Array.make 32 0L;
+    accs = Array.make 8 0L;
+    preds = Array.make 8 false;
+    dras = Machine.Dual_ras.create ();
+    vbase = 0;
+    stats =
+      {
+        i_exec = 0;
+        by_class = Array.make 4 0;
+        alpha_retired = 0;
+        frag_enters = 0;
+        ret_dras_hits = 0;
+        ret_dras_misses = 0;
+      };
+  }
+
+let get_g t g =
+  if g < 32 then Alpha.Interp.get t.interp g else t.scratch.(g - 32)
+
+let set_g t g v =
+  if g < 32 then Alpha.Interp.set t.interp g v else t.scratch.(g - 32) <- v
+
+let src_val t : I.src -> int64 = function
+  | Sacc a -> t.accs.(a)
+  | Sgpr g -> get_g t g
+  | Simm v -> v
+
+let write_dst t (d : I.dst) v =
+  if d.dacc >= 0 then begin
+    t.accs.(d.dacc) <- v;
+    t.preds.(d.dacc) <- false
+  end;
+  match d.gdst with Some g -> set_g t g v | None -> ()
+
+(* The dispatch argument register holds the dynamic target V-address when
+   the dispatch code misses. *)
+let dispatch_target t = Int64.to_int (get_g t Translate.vr_arg)
+
+let addr_mask = 0x3fffffffffff
+
+exception Unaligned_acc of int (* address *)
+
+let load_val mem width signed addr =
+  match (width : I.width), signed with
+  | W8, _ -> Memory.get_i64 mem addr
+  | W4, true ->
+    Int64.of_int32 (Int64.to_int32 (Int64.of_int (Memory.get_u32 mem addr)))
+  | W4, false -> Int64.of_int (Memory.get_u32 mem addr)
+  | W2, _ -> Int64.of_int (Memory.get_u16 mem addr)
+  | W1, _ -> Int64.of_int (Memory.get_u8 mem addr)
+
+let store_val mem width addr v =
+  match (width : I.width) with
+  | W8 -> Memory.set_i64 mem addr v
+  | W4 -> Memory.set_u32 mem addr (Int64.to_int (Int64.logand v 0xffffffffL))
+  | W2 -> Memory.set_u16 mem addr (Int64.to_int (Int64.logand v 0xffffL))
+  | W1 -> Memory.set_u8 mem addr (Int64.to_int (Int64.logand v 0xffL))
+
+(* Apply the PEI-table accumulator map: architected values still living only
+   in accumulators are written back to the register file. *)
+let apply_pei_map t slot =
+  match Tcache.Acc.pei_at t.ctx.tc slot with
+  | Some pei ->
+    Array.iter
+      (fun (a, r) -> Alpha.Interp.set t.interp r t.accs.(a))
+      pei.Tcache.acc_map;
+    Some pei.pei_v_pc
+  | None -> None
+
+(* Execute from [entry] (a slot) until a VM exit. [fuel] bounds the number
+   of V-ISA instructions retired. *)
+let run ?sink ?(fuel = max_int) t ~entry : exit =
+  let tc = t.ctx.tc in
+  let budget = ref fuel in
+  (match Tcache.Acc.frag_of_entry tc entry with
+  | Some f ->
+    f.exec_count <- f.exec_count + 1;
+    t.stats.frag_enters <- t.stats.frag_enters + 1
+  | None -> ());
+  let slot = ref entry in
+  let result = ref None in
+  while !result = None do
+    let s = !slot in
+    let insn = Tcache.Acc.get tc s in
+    let alpha = Vec.get t.ctx.slot_alpha s in
+    t.stats.i_exec <- t.stats.i_exec + 1;
+    t.stats.by_class.(Vec.get t.ctx.slot_class s) <-
+      t.stats.by_class.(Vec.get t.ctx.slot_class s) + 1;
+    t.stats.alpha_retired <- t.stats.alpha_retired + alpha;
+    budget := !budget - alpha;
+    let next = ref (s + 1) in
+    let taken = ref false in
+    let ea = ref 0 in
+    let dras_hit = ref false in
+    (try
+       (match insn with
+       | I.Alu { op; d; a; b } ->
+         write_dst t d (Alpha.Insn.eval_op op (src_val t a) (src_val t b))
+       | I.Cmov_test { cond; d; cv; old } ->
+         let p = Alpha.Insn.cond_true cond (src_val t cv) in
+         write_dst t d (src_val t old);
+         t.preds.(d.dacc) <- p
+       | I.Cmov_sel { d; p; nv } ->
+         let pa = match p with I.Sacc a -> a | _ -> assert false in
+         let v = if t.preds.(pa) then src_val t nv else t.accs.(pa) in
+         write_dst t d v
+       | I.Load { width; signed; d; base; disp } ->
+         let addr = (Int64.to_int (src_val t base) + disp) land addr_mask in
+         ea := addr;
+         if addr land (I.bytes_of_width width - 1) <> 0 then
+           raise (Unaligned_acc addr);
+         write_dst t d (load_val t.interp.mem width signed addr)
+       | I.Store { width; value; base; disp } ->
+         let addr = (Int64.to_int (src_val t base) + disp) land addr_mask in
+         ea := addr;
+         if addr land (I.bytes_of_width width - 1) <> 0 then
+           raise (Unaligned_acc addr);
+         store_val t.interp.mem width addr (src_val t value)
+       | I.Copy_to_gpr { g; a } -> set_g t g t.accs.(a)
+       | I.Copy_from_gpr { d; g } -> write_dst t d (get_g t g)
+       | I.Br { target } ->
+         taken := true;
+         next := target
+       | I.Bc { cond; v; target } ->
+         if Alpha.Insn.cond_true cond (src_val t v) then begin
+           taken := true;
+           next := target
+         end
+       | I.Jmp_ind { v } ->
+         taken := true;
+         next := Int64.to_int (src_val t v)
+       | I.Lta { d; value } -> write_dst t d value
+       | I.Set_vbase { vaddr } -> t.vbase <- vaddr
+       | I.Push_dras { g; v_ret; i_ret } ->
+         set_g t g (Int64.of_int v_ret);
+         if t.ctx.cfg.chaining = Config.Sw_pred_ras then
+           Machine.Dual_ras.push t.dras ~v_addr:v_ret ~i_addr:i_ret
+       | I.Ret_dras { v } -> (
+         let v_actual = Int64.to_int (src_val t v) in
+         match Machine.Dual_ras.pop_verify t.dras ~v_actual with
+         | Some i when i >= 0 ->
+           dras_hit := true;
+           t.stats.ret_dras_hits <- t.stats.ret_dras_hits + 1;
+           taken := true;
+           next := i
+         | _ ->
+           (* stale/unpatched pair or empty stack: fall through to the
+              dispatch path that follows every dual-RAS return *)
+           t.stats.ret_dras_misses <- t.stats.ret_dras_misses + 1)
+       | I.Call_xlate { exit_id } ->
+         (* architected values still in accumulators (PAL exits) *)
+         ignore (apply_pei_map t s);
+         result := Some (X_reason (Vec.get t.ctx.exits exit_id))
+       | I.Call_xlate_cond { cond; v; exit_id } ->
+         if Alpha.Insn.cond_true cond (src_val t v) then begin
+           taken := true;
+           result := Some (X_reason (Vec.get t.ctx.exits exit_id))
+         end);
+       (* fragment-entry accounting for chained transfers *)
+       if !taken && !result = None then begin
+         match Tcache.Acc.frag_of_entry tc !next with
+         | Some f ->
+           f.exec_count <- f.exec_count + 1;
+           t.stats.frag_enters <- t.stats.frag_enters + 1
+         | None -> ()
+       end
+     with
+    | Memory.Fault _ | Unaligned_acc _ -> (
+      match apply_pei_map t s with
+      | Some v_pc ->
+        t.interp.pc <- v_pc;
+        result := Some X_trap_recovered
+      | None -> failwith "exec_acc: fault at a slot with no PEI entry"));
+    (match sink with
+    | Some (f : Machine.Ev.t -> unit) ->
+      f
+        (Accisa.Trace.ev ~dras_hit:!dras_hit
+           ~strand_start:(Tcache.Acc.starts_strand tc s)
+           ~alpha_count:alpha ~pc:(Tcache.Acc.addr_of tc s) ~ea:!ea
+           ~taken:!taken
+           ~target:
+             (if !result <> None then Tcache.Acc.addr_of tc s + 4
+              else Tcache.Acc.addr_of tc !next)
+           insn)
+    | None -> ());
+    if !result = None then begin
+      if !budget <= 0 then result := Some X_fuel else slot := !next
+    end
+  done;
+  Option.get !result

@@ -1,0 +1,181 @@
+module Memory = Machine.Memory
+module Vec = Machine.Vec
+module A = Alpha.Insn
+
+(* Functional execution engine for straightened-Alpha translated code.
+
+   Shares the interpreter's architected register file and memory. Control
+   convention inside the translation cache: Bc/Br immediate fields and the
+   register consumed by Jump hold absolute slot indices (see
+   {!Straighten}). *)
+
+type stats = {
+  mutable i_exec : int;
+  by_class : int array;
+  mutable alpha_retired : int;
+  mutable frag_enters : int;
+  mutable ret_dras_hits : int;
+  mutable ret_dras_misses : int;
+}
+
+type t = {
+  ctx : Straighten.ctx;
+  interp : Alpha.Interp.t;
+  dras : Machine.Dual_ras.t;
+  mutable vbase : int;
+  stats : stats;
+}
+
+type exit =
+  | X_reason of Exitr.reason
+  | X_trap_recovered
+  | X_fuel
+
+let create ctx interp =
+  Translate.map_vm_memory interp.Alpha.Interp.mem;
+  {
+    ctx;
+    interp;
+    dras = Machine.Dual_ras.create ();
+    vbase = 0;
+    stats =
+      {
+        i_exec = 0;
+        by_class = Array.make 4 0;
+        alpha_retired = 0;
+        frag_enters = 0;
+        ret_dras_hits = 0;
+        ret_dras_misses = 0;
+      };
+  }
+
+(* Dynamic dispatch-miss target lives in GP by convention. *)
+let dispatch_target t = Int64.to_int (Alpha.Interp.get t.interp Straighten.gp)
+
+let addr_mask = 0x3fffffffffff
+
+exception Unaligned_s of int
+
+let run ?sink ?(fuel = max_int) t ~entry : exit =
+  let tc = t.ctx.tc in
+  let get r = Alpha.Interp.get t.interp r in
+  let set r v = Alpha.Interp.set t.interp r v in
+  let mem = t.interp.mem in
+  let budget = ref fuel in
+  (match Tcache.Straight.frag_of_entry tc entry with
+  | Some f ->
+    f.exec_count <- f.exec_count + 1;
+    t.stats.frag_enters <- t.stats.frag_enters + 1
+  | None -> ());
+  let slot = ref entry in
+  let result = ref None in
+  while !result = None do
+    let s = !slot in
+    let insn = Tcache.Straight.get tc s in
+    let alpha = Vec.get t.ctx.slot_alpha s in
+    t.stats.i_exec <- t.stats.i_exec + 1;
+    t.stats.by_class.(Vec.get t.ctx.slot_class s) <-
+      t.stats.by_class.(Vec.get t.ctx.slot_class s) + 1;
+    t.stats.alpha_retired <- t.stats.alpha_retired + alpha;
+    budget := !budget - alpha;
+    let next = ref (s + 1) in
+    let taken = ref false in
+    let ea = ref 0 in
+    let dras_hit = ref false in
+    (try
+       (match insn with
+       | A.Mem (Lda, ra, disp, rb) -> set ra (Int64.add (get rb) (Int64.of_int disp))
+       | A.Mem (Ldah, ra, disp, rb) ->
+         set ra (Int64.add (get rb) (Int64.of_int (disp * 65536)))
+       | A.Mem (op, ra, disp, rb) ->
+         let addr = (Int64.to_int (get rb) + disp) land addr_mask in
+         ea := addr;
+         let width =
+           match op with
+           | Ldq | Stq -> 8
+           | Ldl | Stl -> 4
+           | Ldwu | Stw -> 2
+           | _ -> 1
+         in
+         if addr land (width - 1) <> 0 then raise (Unaligned_s addr);
+         (match op with
+         | Ldq -> set ra (Memory.get_i64 mem addr)
+         | Ldl ->
+           set ra (Int64.of_int32 (Int64.to_int32 (Int64.of_int (Memory.get_u32 mem addr))))
+         | Ldwu -> set ra (Int64.of_int (Memory.get_u16 mem addr))
+         | Ldbu -> set ra (Int64.of_int (Memory.get_u8 mem addr))
+         | Stq -> Memory.set_i64 mem addr (get ra)
+         | Stl -> Memory.set_u32 mem addr (Int64.to_int (Int64.logand (get ra) 0xffffffffL))
+         | Stw -> Memory.set_u16 mem addr (Int64.to_int (Int64.logand (get ra) 0xffffL))
+         | Stb -> Memory.set_u8 mem addr (Int64.to_int (Int64.logand (get ra) 0xffL))
+         | Lda | Ldah -> assert false)
+       | A.Opr (op, ra, operand, rc) ->
+         let b = match operand with A.Rb r -> get r | Imm i -> Int64.of_int i in
+         if A.is_cmov insn then begin
+           if A.cond_true (A.cmov_cond op) (get ra) then set rc b
+         end
+         else set rc (A.eval_op op (get ra) b)
+       | A.Br (_, target) ->
+         taken := true;
+         next := target
+       | A.Bc (c, ra, target) ->
+         if A.cond_true c (get ra) then begin
+           taken := true;
+           next := target
+         end
+       | A.Jump (_, _, rb) ->
+         taken := true;
+         next := Int64.to_int (get rb)
+       | A.Lta (ra, v) -> set ra (Int64.of_int v)
+       | A.Push_dras (ra, v_ret, i_ret) ->
+         set ra (Int64.of_int v_ret);
+         if t.ctx.cfg.chaining = Config.Sw_pred_ras then
+           Machine.Dual_ras.push t.dras ~v_addr:v_ret ~i_addr:i_ret
+       | A.Ret_dras rb -> (
+         let v_actual = Int64.to_int (get rb) in
+         match Machine.Dual_ras.pop_verify t.dras ~v_actual with
+         | Some i when i >= 0 ->
+           dras_hit := true;
+           t.stats.ret_dras_hits <- t.stats.ret_dras_hits + 1;
+           taken := true;
+           next := i
+         | _ -> t.stats.ret_dras_misses <- t.stats.ret_dras_misses + 1)
+       | A.Set_vbase v -> t.vbase <- v
+       | A.Call_xlate exit_id ->
+         result := Some (X_reason (Vec.get t.ctx.exits exit_id))
+       | A.Call_xlate_cond (c, ra, exit_id) ->
+         if A.cond_true c (get ra) then begin
+           taken := true;
+           result := Some (X_reason (Vec.get t.ctx.exits exit_id))
+         end
+       | A.Bsr _ | A.Call_pal _ ->
+         failwith "exec_straight: untranslatable instruction in cache");
+       if !taken && !result = None then begin
+         match Tcache.Straight.frag_of_entry tc !next with
+         | Some f ->
+           f.exec_count <- f.exec_count + 1;
+           t.stats.frag_enters <- t.stats.frag_enters + 1
+         | None -> ()
+       end
+     with
+    | Memory.Fault _ | Unaligned_s _ -> (
+      match Tcache.Straight.pei_at tc s with
+      | Some pei ->
+        t.interp.pc <- pei.Tcache.pei_v_pc;
+        result := Some X_trap_recovered
+      | None -> failwith "exec_straight: fault at a slot with no PEI entry"));
+    (match sink with
+    | Some (f : Machine.Ev.t -> unit) ->
+      let base = Tcache.Straight.addr_of tc 0 in
+      let addr sl = base + (4 * sl) in
+      f
+        (Alpha.Trace.ev_of_exec ~dras_hit:!dras_hit ~alpha_count:alpha
+           ~pc:(addr s) ~insn ~taken:!taken
+           ~target:(if !result <> None then addr s + 4 else addr !next)
+           ~ea:!ea ())
+    | None -> ());
+    if !result = None then begin
+      if !budget <= 0 then result := Some X_fuel else slot := !next
+    end
+  done;
+  Option.get !result

@@ -1,0 +1,15 @@
+(* Reasons translated code exits back to the VM runtime.
+
+   Every [call-translator] instruction carries an exit id indexing a table
+   of these records. *)
+
+type reason =
+  | R_branch of int
+    (* control wants to continue at this (untranslated) V-address; the
+       address is also a trace-start candidate ("exit targets of existing
+       fragments", paper Section 3.1) *)
+  | R_pal of int
+    (* a CALL_PAL at this V-address: the VM executes it by interpretation *)
+  | R_dispatch_miss
+    (* the shared dispatch code missed its table: the dynamic target
+       V-address is in the VM argument register *)

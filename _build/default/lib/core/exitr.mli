@@ -1,0 +1,14 @@
+(** Reasons translated code exits back to the VM runtime. Every
+    call-translator instruction carries an exit id indexing a table of
+    these. *)
+
+type reason =
+  | R_branch of int
+      (** control continues at this (untranslated) V-address, which is also
+          a trace-start candidate ("exit targets of existing fragments") *)
+  | R_pal of int
+      (** a CALL_PAL at this V-address: the VM executes it by
+          interpretation *)
+  | R_dispatch_miss
+      (** the shared dispatch code missed its table; the dynamic target
+          V-address is in the VM argument register *)

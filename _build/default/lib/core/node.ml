@@ -1,0 +1,172 @@
+(* Decomposition of superblock instructions into translation nodes.
+
+   The translator works over a flat RTL-like node list in original program
+   order (the DBT never reorders, paper Section 1.3):
+
+   - memory instructions with a non-zero displacement split into an
+     address-calculation node and an access node linked by a temp (the
+     I-ISA's addressing modes perform no address computation, Section 2.1);
+   - conditional moves split into two 2-source nodes linked by a
+     predicate-carrying temp (the "temp" usage class of Section 3.3);
+   - reads of r31 are normalised to the immediate 0;
+   - LDA/LDAH become ALU nodes.
+
+   Each node writes at most one value (an architected register or a temp)
+   and reads at most two values, matching the I-ISA operand budget. *)
+
+type value = Vreg of int | Vtmp of int | Vimm of int64
+
+type dest = Dreg of int | Dtmp of int | Dnone
+
+type br_kind =
+  | B_cond of {
+      cond : Alpha.Insn.cond;
+      taken : bool; (* direction observed at formation time *)
+      v_taken : int; (* V-address of the taken target *)
+      v_fall : int; (* V-address of the fall-through *)
+      ends : bool; (* block-ending backward taken branch *)
+    }
+  | B_uncond of { v_target : int } (* direct branch, no return address *)
+  | B_call of { v_target : int; v_ret : int; ret_reg : int } (* BSR *)
+  | B_jmp of { v_ret : (int * int) option; v_actual : int }
+    (* JMP/JSR; [v_ret = Some (addr, reg)] for JSR. [v_actual] is the target
+       observed at formation time — the software-prediction embed. *)
+  | B_ret of { v_actual : int }
+
+type kind =
+  | K_op of Alpha.Insn.op3
+  | K_cmov_test of Alpha.Insn.cond (* srcs: condition value, old dest *)
+  | K_cmov_sel (* srcs: predicate temp, new value *)
+  | K_load of Accisa.Insn.width * bool * int (* signed, displacement *)
+  | K_store of Accisa.Insn.width * int (* srcs: value, address; displacement *)
+  | K_br of br_kind (* src: condition / indirect target *)
+  | K_pal of int
+
+type t = {
+  id : int;
+  kind : kind;
+  srcs : value array;
+  dst : dest;
+  v_pc : int; (* originating V-ISA instruction *)
+  last_of_insn : bool; (* this node retires the V-ISA instruction *)
+}
+
+(* Can this node raise a precise V-ISA trap? (Memory accesses fault on
+   unmapped/unaligned addresses; PAL enters the system.) *)
+let is_pei t =
+  match t.kind with K_load _ | K_store _ | K_pal _ -> true | _ -> false
+
+(* Is this node a mid-block fragment exit at which architected GPR state
+   must be materialised? Only conditional-branch exits count here: at a PEI
+   the architected state may still live in accumulators, recovered through
+   the PEI table's accumulator map (paper Section 2.2). *)
+let is_exit_point t = match t.kind with K_br (B_cond _) -> true | _ -> false
+
+let reg v = if v = 31 then Vimm 0L else Vreg v
+
+let load_kind disp : Alpha.Insn.mem_op -> kind = function
+  | Ldq -> K_load (W8, false, disp)
+  | Ldl -> K_load (W4, true, disp)
+  | Ldwu -> K_load (W2, false, disp)
+  | Ldbu -> K_load (W1, false, disp)
+  | _ -> invalid_arg "load_kind"
+
+let store_width : Alpha.Insn.mem_op -> Accisa.Insn.width = function
+  | Stq -> W8
+  | Stl -> W4
+  | Stw -> W2
+  | Stb -> W1
+  | _ -> invalid_arg "store_width"
+
+(* Decompose one superblock into nodes. With [fuse_mem] (the Section 4.5
+   option) memory displacements stay inside the access node instead of
+   splitting into an address-calculation temp. *)
+let decompose ?(fuse_mem = false) (sb : Superblock.t) : t array =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let tmps = ref 0 in
+  let fresh_tmp () =
+    incr tmps;
+    !tmps - 1
+  in
+  let push ?(last = false) ~v_pc kind srcs dst =
+    nodes := { id = !count; kind; srcs; dst; v_pc; last_of_insn = last } :: !nodes;
+    incr count
+  in
+  Array.iter
+    (fun (e : Superblock.entry) ->
+      if not (Superblock.is_nop e.insn) then begin
+        let v_pc = e.pc in
+        let push = push ~v_pc in
+        match e.insn with
+        | Mem (Lda, ra, disp, rb) ->
+          push ~last:true (K_op Addq) [| reg rb; Vimm (Int64.of_int disp) |] (Dreg ra)
+        | Mem (Ldah, ra, disp, rb) ->
+          push ~last:true (K_op Addq)
+            [| reg rb; Vimm (Int64.of_int (disp * 65536)) |]
+            (Dreg ra)
+        | Mem (((Ldq | Ldl | Ldwu | Ldbu) as m), ra, disp, rb) ->
+          let addr, k_disp =
+            if disp = 0 || fuse_mem then (reg rb, disp)
+            else begin
+              let t = fresh_tmp () in
+              push (K_op Addq) [| reg rb; Vimm (Int64.of_int disp) |] (Dtmp t);
+              (Vtmp t, 0)
+            end
+          in
+          push ~last:true (load_kind k_disp m) [| addr |] (Dreg ra)
+        | Mem (((Stq | Stl | Stw | Stb) as m), ra, disp, rb) ->
+          let addr, k_disp =
+            if disp = 0 || fuse_mem then (reg rb, disp)
+            else begin
+              let t = fresh_tmp () in
+              push (K_op Addq) [| reg rb; Vimm (Int64.of_int disp) |] (Dtmp t);
+              (Vtmp t, 0)
+            end
+          in
+          push ~last:true (K_store (store_width m, k_disp)) [| reg ra; addr |] Dnone
+        | Opr (op, ra, operand, rc) when Alpha.Insn.is_cmov e.insn ->
+          let b =
+            match operand with Rb r -> reg r | Imm i -> Vimm (Int64.of_int i)
+          in
+          let t = fresh_tmp () in
+          push (K_cmov_test (Alpha.Insn.cmov_cond op)) [| reg ra; reg rc |] (Dtmp t);
+          push ~last:true K_cmov_sel [| Vtmp t; b |] (Dreg rc)
+        | Opr (op, ra, operand, rc) ->
+          let b =
+            match operand with Rb r -> reg r | Imm i -> Vimm (Int64.of_int i)
+          in
+          push ~last:true (K_op op) [| reg ra; b |] (Dreg rc)
+        | Bc (cond, ra, disp) ->
+          let v_taken = e.pc + 4 + (4 * disp) and v_fall = e.pc + 4 in
+          let ends = e.taken && e.next_pc <= e.pc in
+          push ~last:true
+            (K_br (B_cond { cond; taken = e.taken; v_taken; v_fall; ends }))
+            [| reg ra |] Dnone
+        | Br (31, disp) ->
+          push ~last:true
+            (K_br (B_uncond { v_target = e.pc + 4 + (4 * disp) }))
+            [||] Dnone
+        | Br (ra, disp) | Bsr (ra, disp) ->
+          push ~last:true
+            (K_br
+               (B_call
+                  { v_target = e.pc + 4 + (4 * disp); v_ret = e.pc + 4; ret_reg = ra }))
+            [||] (Dreg ra)
+        | Jump (Ret, _, rb) ->
+          push ~last:true (K_br (B_ret { v_actual = e.next_pc })) [| reg rb |] Dnone
+        | Jump (Jsr, ra, rb) ->
+          push ~last:true
+            (K_br (B_jmp { v_ret = Some (e.pc + 4, ra); v_actual = e.next_pc }))
+            [| reg rb |] (Dreg ra)
+        | Jump (Jmp, _, rb) ->
+          push ~last:true
+            (K_br (B_jmp { v_ret = None; v_actual = e.next_pc }))
+            [| reg rb |] Dnone
+        | Call_pal f -> push ~last:true (K_pal f) [||] Dnone
+        | Lta _ | Push_dras _ | Ret_dras _ | Call_xlate _ | Call_xlate_cond _
+        | Set_vbase _ ->
+          invalid_arg "decompose: VM instruction in V-ISA code"
+      end)
+    sb.entries;
+  Array.of_list (List.rev !nodes)

@@ -1,0 +1,87 @@
+(* Superblock formation: Most-Recently-Executed-Tail (paper Section 3.1).
+
+   When a trace-start candidate becomes hot, interpretation continues from
+   it while recording each executed instruction; the recorded path is the
+   superblock. Ending conditions (paper):
+
+   - register-indirect jumps (JMP/JSR/RET) or trap/PAL instructions,
+   - backward taken conditional branches,
+   - a cycle (an already-collected address is reached),
+   - the maximum superblock size,
+
+   plus one documented addition: reaching the entry of an already-translated
+   fragment ends the trace (Dynamo-style fragment linking), which bounds
+   tail duplication.
+
+   Formation executes the program forward, exactly as the paper's system
+   does: the instructions recorded are also the instructions whose effects
+   have happened. *)
+
+type entry = {
+  pc : int;
+  insn : Alpha.Insn.t;
+  taken : bool; (* branch direction observed during formation *)
+  next_pc : int; (* address executed after this instruction *)
+}
+
+type t = {
+  start_pc : int;
+  entries : entry array;
+}
+
+(* Why formation stopped; [Stop_end] means a normal ending condition, the
+   others propagate program termination out of the forming trace. *)
+type stop = Stop_end | Stop_halt of int | Stop_trap of Alpha.Interp.trap
+
+let length t = Array.length t.entries
+
+(* Count of V-ISA instructions, excluding NOPs, used as the Table 2
+   denominator (the paper excludes NOPs from program characteristics). *)
+let is_nop (i : Alpha.Insn.t) =
+  match i with
+  | Opr (Bis, 31, Rb 31, 31) -> true
+  | _ -> false
+
+let form ?(on_step = fun (_ : Alpha.Interp.exec_info) -> ())
+    ~(interp : Alpha.Interp.t) ~(max_size : int)
+    ~(is_translated : int -> bool) () : t * stop =
+  let start_pc = interp.pc in
+  let seen = Hashtbl.create 64 in
+  let entries = ref [] in
+  let n = ref 0 in
+  let rec go () =
+    if !n >= max_size then Stop_end
+    else if !n > 0 && (Hashtbl.mem seen interp.pc || is_translated interp.pc)
+    then Stop_end
+    else begin
+      let pc = interp.pc in
+      match Alpha.Interp.step interp with
+      | Halted c -> Stop_halt c
+      | Trapped tr -> Stop_trap tr
+      | Step info ->
+        on_step info;
+        Hashtbl.replace seen pc ();
+        entries :=
+          { pc; insn = info.insn; taken = info.taken; next_pc = info.next_pc }
+          :: !entries;
+        incr n;
+        let ends =
+          match info.insn with
+          | Jump _ | Call_pal _ -> true
+          | Bc _ when info.taken && info.next_pc <= pc -> true
+          | _ -> false
+        in
+        if ends then Stop_end else go ()
+    end
+  in
+  let stop = go () in
+  ({ start_pc; entries = Array.of_list (List.rev !entries) }, stop)
+
+let pp fmt t =
+  Format.fprintf fmt "superblock @%#x (%d insns):@." t.start_pc (length t);
+  Array.iter
+    (fun e ->
+      Format.fprintf fmt "  %#x: %s%s@." e.pc
+        (Alpha.Disasm.to_string e.insn)
+        (if e.taken then "  [taken]" else ""))
+    t.entries

@@ -1,0 +1,39 @@
+(** Superblock formation: Most-Recently-Executed-Tail (paper Section 3.1).
+
+    When a trace-start candidate becomes hot, interpretation continues from
+    it while recording each executed instruction; the recorded path is the
+    superblock. Formation {e executes} the program forward, exactly as the
+    paper's system does. *)
+
+type entry = {
+  pc : int;
+  insn : Alpha.Insn.t;
+  taken : bool;  (** branch direction observed during formation *)
+  next_pc : int;  (** address executed after this instruction *)
+}
+
+type t = { start_pc : int; entries : entry array }
+
+(** Why formation stopped: [Stop_end] is a normal ending condition
+    (indirect jump / PAL, backward taken branch, cycle, size limit); the
+    others propagate program termination out of the forming trace. *)
+type stop = Stop_end | Stop_halt of int | Stop_trap of Alpha.Interp.trap
+
+val length : t -> int
+
+val is_nop : Alpha.Insn.t -> bool
+(** NOPs are excluded from V-ISA program characteristics (Section 4.4). *)
+
+val form :
+  ?on_step:(Alpha.Interp.exec_info -> unit) ->
+  interp:Alpha.Interp.t ->
+  max_size:int ->
+  is_translated:(int -> bool) ->
+  unit ->
+  t * stop
+(** Form one superblock starting at the interpreter's current PC, advancing
+    the interpreter. [on_step] observes each executed instruction (the VM
+    maintains the dual-address RAS through it); [is_translated] optionally
+    ends formation at existing fragment entries. *)
+
+val pp : Format.formatter -> t -> unit

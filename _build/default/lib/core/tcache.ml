@@ -1,0 +1,195 @@
+module Vec = Machine.Vec
+
+(* Translation cache: translated code, fragment metadata, the PC-translation
+   map, pending patch sites, and PEI tables (paper Sections 2.2, 3.1, 3.2).
+
+   Parameterised over the target instruction type: the accumulator backends
+   store {!Accisa.Insn.t}, the code-straightening-only backend stores
+   {!Alpha.Insn.t}. Code lives in a flat slot array; control-flow targets in
+   translated code are slot indices. The parallel [addr] array carries each
+   slot's byte address in the I-address space (slots have different encoded
+   sizes in the I-ISA), which is what the timing models' I-cache and BTB
+   see.
+
+   Patching ("a patch is performed", Section 3.2) is expressed as closures
+   registered against an untranslated V-address: installing a fragment for
+   that address runs the closures with the new entry slot, replacing
+   call-translator instructions with direct branches and completing
+   push-dual-RAS pairs. *)
+
+type pei = {
+  pei_v_pc : int; (* V-ISA address of the potentially-excepting insn *)
+  acc_map : (int * int) array;
+  (* accumulators holding the architecturally-current value of a register
+     at this point: (accumulator, architected register) pairs *)
+}
+
+type frag = {
+  id : int;
+  entry_slot : int;
+  v_start : int;
+  mutable n_slots : int;
+  mutable v_insns : int; (* V-ISA instructions covered (NOPs excluded) *)
+  mutable v_bytes : int; (* static V-ISA bytes covered *)
+  mutable i_bytes : int; (* static translated bytes *)
+  mutable exec_count : int; (* times entered *)
+  cat_count : int array; (* per-Usage.category static node counts *)
+}
+
+let n_categories = 7
+
+let cat_index : Usage.category -> int = function
+  | Temp -> 0
+  | No_user -> 1
+  | Local -> 2
+  | No_user_global -> 3
+  | Local_global -> 4
+  | Comm_global -> 5
+  | Liveout_global -> 6
+
+module Make (C : sig
+  type insn
+
+  val bytes : insn -> int
+  val dummy : insn
+end) =
+struct
+  type t = {
+    code : C.insn Vec.t;
+    addr : int Vec.t; (* byte address of each slot *)
+    strand_start : bool Vec.t; (* slot begins a new strand (ILDP steering) *)
+    frags : frag Vec.t;
+    by_ventry : (int, int) Hashtbl.t; (* V-address -> entry slot *)
+    entry_frag : (int, frag) Hashtbl.t; (* entry slot -> fragment *)
+    peis : (int, pei) Hashtbl.t; (* slot -> PEI record *)
+    pending : (int, (int -> unit) list) Hashtbl.t;
+    (* V-address -> patch closures to run when it gets translated *)
+    base : int; (* byte address of slot 0 *)
+    mutable next_addr : int;
+  }
+
+  let create ?(base = 0x4000_0000) () =
+    {
+      code = Vec.create ~dummy:C.dummy;
+      addr = Vec.create ~dummy:0;
+      strand_start = Vec.create ~dummy:false;
+      frags = Vec.create ~dummy:{
+        id = -1; entry_slot = 0; v_start = 0; n_slots = 0; v_insns = 0;
+        v_bytes = 0; i_bytes = 0; exec_count = 0; cat_count = [||] };
+      by_ventry = Hashtbl.create 256;
+      entry_frag = Hashtbl.create 256;
+      peis = Hashtbl.create 256;
+      pending = Hashtbl.create 256;
+      base;
+      next_addr = base;
+    }
+
+  let n_slots t = Vec.length t.code
+
+  (* Append one instruction; returns its slot. *)
+  let push ?(strand_start = false) t insn =
+    let slot = Vec.length t.code in
+    Vec.push t.code insn;
+    Vec.push t.addr t.next_addr;
+    Vec.push t.strand_start strand_start;
+    t.next_addr <- t.next_addr + C.bytes insn;
+    slot
+
+  let get t slot = Vec.get t.code slot
+  let addr_of t slot = Vec.get t.addr slot
+  let starts_strand t slot = Vec.get t.strand_start slot
+
+  (* In-place patch. The byte layout is stable because every patch replaces
+     an instruction with one of the same encoded size (checked). *)
+  let patch t slot insn =
+    assert (C.bytes insn = C.bytes (Vec.get t.code slot));
+    Vec.set t.code slot insn
+
+  let lookup t v_addr = Hashtbl.find_opt t.by_ventry v_addr
+  let is_translated t v_addr = Hashtbl.mem t.by_ventry v_addr
+  let frag_of_entry t entry_slot = Hashtbl.find_opt t.entry_frag entry_slot
+
+  (* Register a patch closure to run when [v_addr] gets translated; runs
+     immediately if it already is. *)
+  let on_translate t v_addr f =
+    match Hashtbl.find_opt t.by_ventry v_addr with
+    | Some entry -> f entry
+    | None ->
+      let old = Option.value ~default:[] (Hashtbl.find_opt t.pending v_addr) in
+      Hashtbl.replace t.pending v_addr (f :: old)
+
+  let add_pei t slot pei = Hashtbl.replace t.peis slot pei
+  let pei_at t slot = Hashtbl.find_opt t.peis slot
+
+  (* Declare a new fragment entry: binds the V-address, creates metadata,
+     and fires any pending patches against this address. *)
+  let install t ~v_start ~entry_slot =
+    let f =
+      {
+        id = Vec.length t.frags;
+        entry_slot;
+        v_start;
+        n_slots = 0;
+        v_insns = 0;
+        v_bytes = 0;
+        i_bytes = 0;
+        exec_count = 0;
+        cat_count = Array.make n_categories 0;
+      }
+    in
+    Vec.push t.frags f;
+    Hashtbl.replace t.by_ventry v_start entry_slot;
+    Hashtbl.replace t.entry_frag entry_slot f;
+    (match Hashtbl.find_opt t.pending v_start with
+    | Some patches ->
+      Hashtbl.remove t.pending v_start;
+      List.iter (fun p -> p entry_slot) patches
+    | None -> ());
+    f
+
+  (* Finish a fragment: record its slot extent and static sizes. *)
+  let seal t (f : frag) =
+    f.n_slots <- Vec.length t.code - f.entry_slot;
+    let b = ref 0 in
+    for s = f.entry_slot to Vec.length t.code - 1 do
+      b := !b + C.bytes (Vec.get t.code s)
+    done;
+    f.i_bytes <- !b
+
+  (* Flush: drop all fragments, code, patches and PEI tables (paper
+     Section 4.1's Dynamo-style cache flush). The byte-address space
+     restarts at [base]. *)
+  let clear t =
+    Vec.clear t.code;
+    Vec.clear t.addr;
+    Vec.clear t.strand_start;
+    Vec.clear t.frags;
+    Hashtbl.reset t.by_ventry;
+    Hashtbl.reset t.entry_frag;
+    Hashtbl.reset t.peis;
+    Hashtbl.reset t.pending;
+    t.next_addr <- t.base
+
+  let fragments t = Vec.to_list t.frags
+
+  (* Aggregate static translated bytes across all fragments. *)
+  let total_i_bytes t =
+    List.fold_left (fun acc f -> acc + f.i_bytes) 0 (fragments t)
+
+  let total_v_bytes t =
+    List.fold_left (fun acc f -> acc + f.v_bytes) 0 (fragments t)
+end
+
+module Acc = Make (struct
+  type insn = Accisa.Insn.t
+
+  let bytes = Accisa.Size.bytes
+  let dummy = Accisa.Insn.Br { target = 0 }
+end)
+
+module Straight = Make (struct
+  type insn = Alpha.Insn.t
+
+  let bytes _ = 4
+  let dummy = Alpha.Insn.Br (31, 0)
+end)

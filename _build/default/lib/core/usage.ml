@@ -1,0 +1,141 @@
+(* Dependence and usage identification (paper Section 3.3, first phase).
+
+   A single forward scan resolves every node source to its in-block
+   producing node (reaching definition) and classifies every produced value
+   by "globalness":
+
+   - [Temp]            decomposition temps (address calcs, cmov predicates)
+   - [No_user]         dead before redefinition, no exit in between
+   - [Local]           used once, not live at any exit point in between
+   - [No_user_global]  dead, but live at an exit/PEI before redefinition
+   - [Local_global]    used once, but live at an exit/PEI in between
+   - [Comm_global]     used more than once before redefinition
+   - [Liveout_global]  not redefined within the superblock
+
+   The two [_global] variants of dead/local values are exactly the Fig. 7
+   "no user -> global" and "local -> global" bars: they cost an extra
+   copy-to-GPR in the basic ISA and only an off-critical-path architected
+   write in the modified ISA. Exit points are conditional-branch fragment
+   exits and potentially-excepting instructions. *)
+
+type category =
+  | Temp
+  | No_user
+  | Local
+  | No_user_global
+  | Local_global
+  | Comm_global
+  | Liveout_global
+
+let category_name = function
+  | Temp -> "temp"
+  | No_user -> "no user"
+  | Local -> "local"
+  | No_user_global -> "no user -> global"
+  | Local_global -> "local -> global"
+  | Comm_global -> "communication"
+  | Liveout_global -> "liveout"
+
+type def_info = {
+  def_node : int;
+  category : category;
+  users : int list; (* node ids reading this def, in program order *)
+  save_needed : bool; (* value must reach the architected GPR file *)
+}
+
+type t = {
+  defs : def_info option array; (* indexed by node id *)
+  src_defs : int option array array; (* [node].[src] -> producing node *)
+  live_in : bool array; (* per architected register *)
+}
+
+(* A def is consumed through an accumulator by its (single) user; values
+   used more than once communicate through GPRs (paper Section 3.3). *)
+let acc_linked (d : def_info) =
+  match d.category with
+  | Temp | No_user | Local | No_user_global | Local_global -> true
+  | Liveout_global -> List.length d.users <= 1
+  | Comm_global -> false
+
+(* Modified ISA: does this value need a latency-critical operational-GPR
+   write (vs only the off-critical-path architected update)? *)
+let needs_operational (d : def_info) =
+  match d.category with
+  | Comm_global | Liveout_global -> true
+  | _ -> false
+
+let analyze (nodes : Node.t array) : t =
+  let n = Array.length nodes in
+  let defs = Array.make n None in
+  let src_defs = Array.map (fun (nd : Node.t) -> Array.make (Array.length nd.srcs) None) nodes in
+  let live_in = Array.make 32 false in
+  (* reaching definitions *)
+  let cur_reg = Array.make 32 (-1) in
+  let cur_tmp = Hashtbl.create 16 in
+  (* accumulated per-def facts *)
+  let users : int list array = Array.make n [] in
+  let redef_at = Array.make n (-1) in
+  (* forward scan *)
+  Array.iteri
+    (fun i (nd : Node.t) ->
+      Array.iteri
+        (fun k src ->
+          match src with
+          | Node.Vimm _ -> ()
+          | Node.Vreg r ->
+            if cur_reg.(r) >= 0 then begin
+              src_defs.(i).(k) <- Some cur_reg.(r);
+              users.(cur_reg.(r)) <- i :: users.(cur_reg.(r))
+            end
+            else live_in.(r) <- true
+          | Node.Vtmp t ->
+            let d = Hashtbl.find cur_tmp t in
+            src_defs.(i).(k) <- Some d;
+            users.(d) <- i :: users.(d))
+        nd.srcs;
+      match nd.dst with
+      | Dreg r ->
+        if cur_reg.(r) >= 0 then redef_at.(cur_reg.(r)) <- i;
+        cur_reg.(r) <- i
+      | Dtmp t -> Hashtbl.replace cur_tmp t i
+      | Dnone -> ())
+    nodes;
+  (* prefix counts of exit points for O(1) "exit in range" queries *)
+  let exits = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    exits.(i + 1) <- exits.(i) + if Node.is_exit_point nodes.(i) then 1 else 0
+  done;
+  let exit_between ~lo ~hi (* nodes k with lo < k <= hi *) =
+    exits.(hi + 1) - exits.(lo + 1) > 0
+  in
+  Array.iteri
+    (fun i (nd : Node.t) ->
+      match nd.dst with
+      | Dnone -> ()
+      | Dtmp _ ->
+        defs.(i) <-
+          Some
+            {
+              def_node = i;
+              category = Temp;
+              users = List.rev users.(i);
+              save_needed = false;
+            }
+      | Dreg _ ->
+        let u = List.rev users.(i) in
+        let nuses = List.length u in
+        let category, save_needed =
+          if redef_at.(i) < 0 then (Liveout_global, true)
+          else begin
+            let save = exit_between ~lo:i ~hi:redef_at.(i) in
+            match (nuses, save) with
+            | 0, false -> (No_user, false)
+            | 0, true -> (No_user_global, true)
+            | 1, false -> (Local, false)
+            | 1, true -> (Local_global, true)
+            | _ -> (Comm_global, true)
+          end
+        in
+        defs.(i) <- Some { def_node = i; category; users = u; save_needed })
+    nodes;
+  { defs; src_defs; live_in }

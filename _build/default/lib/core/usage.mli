@@ -1,0 +1,44 @@
+(** Dependence and usage identification (paper Section 3.3, first phase).
+
+    A forward scan resolves every node source to its in-block producing
+    node and classifies every produced value by "globalness". The two
+    [_global] variants of dead/local values are Fig. 7's "no user → global"
+    and "local → global" bars: they cost an extra copy-to-GPR in the basic
+    ISA and only an off-critical-path architected write in the modified
+    ISA. Exit points for the save analysis are conditional-branch fragment
+    exits (PEI recoverability is handled separately through accumulator
+    maps and copy-before-overwrite). *)
+
+type category =
+  | Temp  (** decomposition temps (address calcs, cmov predicates) *)
+  | No_user  (** dead before redefinition, no exit in between *)
+  | Local  (** used once, not live at any exit point in between *)
+  | No_user_global  (** dead, but live at an exit before redefinition *)
+  | Local_global  (** used once, but live at an exit in between *)
+  | Comm_global  (** used more than once before redefinition *)
+  | Liveout_global  (** not redefined within the superblock *)
+
+val category_name : category -> string
+
+type def_info = {
+  def_node : int;
+  category : category;
+  users : int list;  (** node ids reading this def, in program order *)
+  save_needed : bool;  (** value must reach the architected GPR file *)
+}
+
+type t = {
+  defs : def_info option array;  (** indexed by node id *)
+  src_defs : int option array array;  (** [node].[src] → producing node *)
+  live_in : bool array;  (** per architected register *)
+}
+
+val acc_linked : def_info -> bool
+(** Is the def consumed through an accumulator by its (single) user?
+    Values used more than once communicate through GPRs. *)
+
+val needs_operational : def_info -> bool
+(** Modified ISA: does this value need a latency-critical operational-GPR
+    write (vs only the off-critical-path architected update)? *)
+
+val analyze : Node.t array -> t

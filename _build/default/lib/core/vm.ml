@@ -1,0 +1,252 @@
+(* The co-designed VM runtime: interpret/profile -> translate -> execute
+   (paper Fig. 1 and Section 3.1).
+
+   The VM owns one architected state (the interpreter's registers + memory,
+   shared with the execution engine). Control moves between three modes:
+
+   - interpretation, with trace-start-candidate counters bumped on arrival
+     via candidate edges (register-indirect jump targets, backward
+     conditional-branch targets, fragment exit targets);
+   - superblock formation + translation when a candidate crosses the hot
+     threshold (formation itself advances the program, MRET-style);
+   - translated-code execution whenever the current PC has a fragment.
+
+   Timing simulation (when a sink is attached) sees only translated-code
+   events, and is notified at every mode-switch boundary so it can drain
+   its pipeline — exactly the paper's measurement methodology. *)
+
+type kind = Acc | Straight_only
+
+type backend =
+  | B_acc of Translate.ctx * Exec_acc.t
+  | B_straight of Straighten.ctx * Exec_straight.t
+
+type t = {
+  cfg : Config.t;
+  interp : Alpha.Interp.t;
+  backend : backend;
+  counters : (int, int) Hashtbl.t;
+  mutable fuel : int;
+  mutable interp_insns : int; (* dynamically interpreted V-ISA instructions *)
+  mutable superblocks : int;
+}
+
+let create ?(cfg = Config.default) ~kind prog =
+  let interp = Alpha.Interp.create prog in
+  let backend =
+    match kind with
+    | Acc ->
+      let ctx = Translate.create cfg in
+      B_acc (ctx, Exec_acc.create ctx interp)
+    | Straight_only ->
+      let ctx = Straighten.create cfg in
+      B_straight (ctx, Exec_straight.create ctx interp)
+  in
+  { cfg; interp; backend; counters = Hashtbl.create 512; fuel = max_int;
+    interp_insns = 0; superblocks = 0 }
+
+let cost t =
+  match t.backend with
+  | B_acc (ctx, _) -> ctx.cost
+  | B_straight (ctx, _) -> ctx.cost
+
+let is_translated t pc =
+  match t.backend with
+  | B_acc (ctx, _) -> Tcache.Acc.is_translated ctx.tc pc
+  | B_straight (ctx, _) -> Tcache.Straight.is_translated ctx.tc pc
+
+let entry_of t pc =
+  match t.backend with
+  | B_acc (ctx, _) -> Tcache.Acc.lookup ctx.tc pc
+  | B_straight (ctx, _) -> Tcache.Straight.lookup ctx.tc pc
+
+let translate t sb =
+  t.superblocks <- t.superblocks + 1;
+  match t.backend with
+  | B_acc (ctx, _) -> Translate.translate ctx t.interp.mem sb
+  | B_straight (ctx, _) -> Straighten.translate ctx t.interp.mem sb
+
+type outcome = Exit of int | Fault of Alpha.Interp.trap | Out_of_fuel
+
+(* Flush the translation cache and restart profiling — the paper's
+   Section 4.1 notes that a Dynamo-style flush lets sub-optimal fragments
+   (formed from early-phase paths) be rebuilt. Architected state is
+   untouched; the dual-address RAS is cleared because its I-addresses died
+   with the cache. Safe only between VM steps (the run loop re-enters
+   translated code through fresh lookups). *)
+let flush t =
+  (match t.backend with
+  | B_acc (ctx, ex) ->
+    Translate.flush ctx t.interp.mem;
+    Machine.Dual_ras.clear ex.Exec_acc.dras
+  | B_straight (ctx, ex) ->
+    Straighten.flush ctx t.interp.mem;
+    Machine.Dual_ras.clear ex.Exec_straight.dras);
+  Hashtbl.reset t.counters
+
+let dual_ras t =
+  match t.backend with
+  | B_acc (_, ex) -> ex.Exec_acc.dras
+  | B_straight (_, ex) -> ex.Exec_straight.dras
+
+(* The dual-address RAS is a hardware structure: it observes calls and
+   returns executed by the VM's interpreter too (in the real co-designed VM
+   the interpreter itself is translated code whose call/return helpers push
+   proper pairs). Pushes use the current translation of the return address
+   when one exists. *)
+let interp_ras_update t (info : Alpha.Interp.exec_info) =
+  if t.cfg.chaining = Config.Sw_pred_ras then begin
+    let dras = dual_ras t in
+    match info.insn with
+    | Bsr _ | Jump (Jsr, _, _) ->
+      let v_ret = info.xpc + 4 in
+      let i_ret = Option.value ~default:(-1) (entry_of t v_ret) in
+      Machine.Dual_ras.push dras ~v_addr:v_ret ~i_addr:i_ret
+    | Br (ra, _) when ra <> 31 ->
+      let v_ret = info.xpc + 4 in
+      let i_ret = Option.value ~default:(-1) (entry_of t v_ret) in
+      Machine.Dual_ras.push dras ~v_addr:v_ret ~i_addr:i_ret
+    | Jump (Ret, _, _) ->
+      ignore (Machine.Dual_ras.pop_verify dras ~v_actual:info.next_pc)
+    | _ -> ()
+  end
+
+(* Run the program under the VM. [sink] receives translated-code events;
+   [boundary] fires at every translated-execution segment end. *)
+let run ?sink ?boundary ?(fuel = max_int) t : outcome =
+  t.fuel <- fuel;
+  let notify_boundary () = match boundary with Some f -> f () | None -> () in
+  (* [candidate] is true when the current interpreter PC was reached through
+     a candidate-making edge. *)
+  let candidate = ref true (* the program entry is a jump target *) in
+  let result = ref None in
+  let exec_translated entry =
+    let exit_ =
+      match t.backend with
+      | B_acc (_, ex) ->
+        let before = ex.stats.alpha_retired in
+        let r = Exec_acc.run ?sink ~fuel:t.fuel ex ~entry in
+        t.fuel <- t.fuel - (ex.stats.alpha_retired - before);
+        (match r with
+        | Exec_acc.X_reason reason -> `Reason reason
+        | Exec_acc.X_trap_recovered -> `Trap_recovered
+        | Exec_acc.X_fuel -> `Fuel)
+      | B_straight (_, ex) ->
+        let before = ex.stats.alpha_retired in
+        let r = Exec_straight.run ?sink ~fuel:t.fuel ex ~entry in
+        t.fuel <- t.fuel - (ex.stats.alpha_retired - before);
+        (match r with
+        | Exec_straight.X_reason reason -> `Reason reason
+        | Exec_straight.X_trap_recovered -> `Trap_recovered
+        | Exec_straight.X_fuel -> `Fuel)
+    in
+    notify_boundary ();
+    exit_
+  in
+  let dispatch_target () =
+    match t.backend with
+    | B_acc (_, ex) -> Exec_acc.dispatch_target ex
+    | B_straight (_, ex) -> Exec_straight.dispatch_target ex
+  in
+  let interp_one () =
+    Cost.tick_interp (cost t) Cost.interp_step;
+    (cost t).interp_insns <- (cost t).interp_insns + 1;
+    match Alpha.Interp.step t.interp with
+    | Halted c -> result := Some (Exit c)
+    | Trapped tr -> result := Some (Fault tr)
+    | Step info ->
+      t.interp_insns <- t.interp_insns + 1;
+      t.fuel <- t.fuel - 1;
+      interp_ras_update t info;
+      candidate :=
+        (match info.insn with
+        | Jump _ -> true
+        | Bc _ | Br _ | Bsr _ -> info.taken && info.next_pc <= info.xpc
+        | _ -> false)
+  in
+  while !result = None do
+    if t.fuel <= 0 then result := Some Out_of_fuel
+    else begin
+      let pc = t.interp.pc in
+      match entry_of t pc with
+      | Some entry -> (
+        match exec_translated entry with
+        | `Reason (Exitr.R_branch v) ->
+          t.interp.pc <- v;
+          candidate := true
+        | `Reason (Exitr.R_pal v_pc) ->
+          t.interp.pc <- v_pc;
+          (match Alpha.Interp.step t.interp with
+          | Halted c -> result := Some (Exit c)
+          | Trapped tr -> result := Some (Fault tr)
+          | Step _ ->
+            t.fuel <- t.fuel - 1;
+            candidate := false)
+        | `Reason Exitr.R_dispatch_miss ->
+          t.interp.pc <- dispatch_target ();
+          candidate := true
+        | `Trap_recovered -> (
+          (* re-execute the faulting V-ISA instruction by interpretation;
+             it raises the architectural trap with precise state *)
+          match Alpha.Interp.step t.interp with
+          | Halted c -> result := Some (Exit c)
+          | Trapped tr -> result := Some (Fault tr)
+          | Step _ ->
+            (* the retry succeeded (e.g. state repaired between); continue *)
+            t.fuel <- t.fuel - 1;
+            candidate := false)
+        | `Fuel -> result := Some Out_of_fuel)
+      | None ->
+        if !candidate then begin
+          Cost.tick (cost t) Cost.profile_lookup;
+          let c = 1 + Option.value ~default:0 (Hashtbl.find_opt t.counters pc) in
+          Hashtbl.replace t.counters pc c;
+          if c >= t.cfg.hot_threshold then begin
+            let before = t.interp.icount in
+            let sb, stop =
+              Superblock.form
+                ~on_step:(interp_ras_update t)
+                ~interp:t.interp ~max_size:t.cfg.max_superblock
+                ~is_translated:
+                  (if t.cfg.stop_at_translated then is_translated t
+                   else fun _ -> false)
+                ()
+            in
+            let formed = t.interp.icount - before in
+            t.interp_insns <- t.interp_insns + formed;
+            t.fuel <- t.fuel - formed;
+            Cost.tick_interp (cost t) (formed * Cost.interp_step);
+            (cost t).interp_insns <- (cost t).interp_insns + formed;
+            (match stop with
+            | Superblock.Stop_end -> translate t sb
+            | Superblock.Stop_halt c -> result := Some (Exit c)
+            | Superblock.Stop_trap tr -> result := Some (Fault tr));
+            candidate := true
+          end
+          else begin
+            candidate := false;
+            interp_one ()
+          end
+        end
+        else interp_one ()
+    end
+  done;
+  Option.get !result
+
+(* ---------- accessors used by tests and the harness ---------- *)
+
+let output t = Alpha.Interp.output t.interp
+let reg_checksum t = Alpha.Interp.reg_checksum t.interp
+let memory t = t.interp.mem
+
+let acc_exec t =
+  match t.backend with B_acc (_, ex) -> Some ex | B_straight _ -> None
+
+let straight_exec t =
+  match t.backend with B_straight (_, ex) -> Some ex | B_acc _ -> None
+
+let acc_ctx t =
+  match t.backend with B_acc (ctx, _) -> Some ctx | B_straight _ -> None
+
+let straight_ctx t =
+  match t.backend with B_straight (ctx, _) -> Some ctx | B_acc _ -> None

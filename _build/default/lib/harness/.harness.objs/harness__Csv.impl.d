@@ -1,0 +1,1 @@
+lib/harness/csv.ml: Core Filename List Machine Option Printf Runner String Uarch Unix Workloads

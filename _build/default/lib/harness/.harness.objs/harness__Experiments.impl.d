@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Core Format List Machine Option Printf Runner String Uarch Workloads

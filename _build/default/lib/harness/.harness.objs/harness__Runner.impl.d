@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Alpha Array Core Format Hashtbl List Option Printf Uarch Workloads

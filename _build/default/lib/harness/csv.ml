@@ -1,0 +1,124 @@
+(* CSV export of the per-benchmark series behind each figure/table, for
+   plotting outside the harness (bench/main.exe --csv DIR). One file per
+   experiment, one row per workload, headers matching the paper's series. *)
+
+let write_file dir name header rows =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc (String.concat "," header);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    rows;
+  close_out oc;
+  path
+
+let f3 x = Printf.sprintf "%.3f" x
+let f1 x = Printf.sprintf "%.1f" x
+
+let table2 dir ~scale =
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let b = Runner.acc ~isa:Core.Config.Basic ~scale w in
+        let m = Runner.acc ~isa:Core.Config.Modified ~scale w in
+        let rel (r : Runner.acc_out) =
+          float_of_int r.a_i_exec /. float_of_int (max 1 r.a_alpha)
+        in
+        let copy (r : Runner.acc_out) =
+          100.0 *. float_of_int r.a_copies /. float_of_int (max 1 r.a_i_exec)
+        in
+        let bytes (r : Runner.acc_out) =
+          float_of_int r.a_i_bytes /. float_of_int (max 1 r.a_v_bytes)
+        in
+        [ w.name; f3 (rel b); f3 (rel m); f1 (copy b); f1 (copy m);
+          f3 (bytes b); f3 (bytes m); Printf.sprintf "%.0f" m.a_dbt_work ])
+      Workloads.all
+  in
+  write_file dir "table2.csv"
+    [ "benchmark"; "rel_dyn_B"; "rel_dyn_M"; "copy_pct_B"; "copy_pct_M";
+      "rel_bytes_B"; "rel_bytes_M"; "dbt_work" ]
+    rows
+
+let fig4 dir ~scale =
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        [ w.name;
+          f3 (Runner.original ~scale w).mpki;
+          f3 (Runner.straight ~chaining:Core.Config.No_pred ~scale w).s_t.mpki;
+          f3 (Runner.straight ~chaining:Core.Config.Sw_pred_no_ras ~scale w).s_t.mpki;
+          f3 (Runner.straight ~chaining:Core.Config.Sw_pred_ras ~scale w).s_t.mpki ])
+      Workloads.all
+  in
+  write_file dir "fig4.csv"
+    [ "benchmark"; "original"; "no_pred"; "sw_pred_no_ras"; "sw_pred_ras" ]
+    rows
+
+let fig5 dir ~scale =
+  let rel ch w =
+    let s = Runner.straight ~chaining:ch ~scale w in
+    f3 (float_of_int s.Runner.s_i_exec /. float_of_int (max 1 s.s_alpha))
+  in
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        [ w.name; rel Core.Config.No_pred w; rel Core.Config.Sw_pred_no_ras w;
+          rel Core.Config.Sw_pred_ras w ])
+      Workloads.all
+  in
+  write_file dir "fig5.csv"
+    [ "benchmark"; "no_pred"; "sw_pred_no_ras"; "sw_pred_ras" ]
+    rows
+
+let fig8 dir ~scale =
+  let params = { Uarch.Ildp.default_params with n_pe = 8; comm = 0 } in
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let b = Runner.acc ~isa:Core.Config.Basic ~ildp:params ~scale w in
+        let m = Runner.acc ~isa:Core.Config.Modified ~ildp:params ~scale w in
+        [ w.name;
+          f3 (Runner.original ~scale w).v_ipc;
+          f3 (Runner.straight ~chaining:Core.Config.Sw_pred_ras ~scale w).s_t.v_ipc;
+          f3 (Option.get b.a_t).v_ipc;
+          f3 (Option.get m.a_t).v_ipc;
+          f3 (Option.get m.a_t).ipc ])
+      Workloads.all
+  in
+  write_file dir "fig8.csv"
+    [ "benchmark"; "orig_ss"; "straight_ss"; "ildp_basic"; "ildp_modified";
+      "native_i_ipc" ]
+    rows
+
+let fig9 dir ~scale =
+  let cfgs =
+    [ ("acc8_pe8_32k_c0", 8, 8, 0, false); ("acc4_pe8_32k_c0", 4, 8, 0, false);
+      ("acc4_pe8_8k_c0", 4, 8, 0, true); ("acc4_pe8_8k_c2", 4, 8, 2, true);
+      ("acc4_pe6_32k_c0", 4, 6, 0, false); ("acc4_pe4_32k_c0", 4, 4, 0, false) ]
+  in
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        w.name
+        :: List.map
+             (fun (_, n_accs, n_pe, comm, small) ->
+               let mem =
+                 if small then Machine.Memhier.small_l1 Machine.Memhier.default_cfg
+                 else Machine.Memhier.default_cfg
+               in
+               let params = { Uarch.Ildp.default_params with n_pe; comm; mem } in
+               let r = Runner.acc ~n_accs ~ildp:params ~scale w in
+               f3 (Option.get r.a_t).v_ipc)
+             cfgs)
+      Workloads.all
+  in
+  write_file dir "fig9.csv" ("benchmark" :: List.map (fun (n, _, _, _, _) -> n) cfgs) rows
+
+(* Write every exportable series; returns the file list. *)
+let export dir ~scale =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  [ table2 dir ~scale; fig4 dir ~scale; fig5 dir ~scale; fig8 dir ~scale;
+    fig9 dir ~scale ]

@@ -1,0 +1,524 @@
+(* Reproduction drivers: one function per table/figure of the paper's
+   evaluation section. Each prints the same rows/series the paper reports;
+   EXPERIMENTS.md records paper-vs-measured for each. *)
+
+let pf = Format.fprintf
+
+let names () = List.map (fun (w : Workloads.t) -> w.name) Workloads.all
+
+let header fmt title =
+  pf fmt "@.=== %s ===@.@." title
+
+let row_rule fmt widths =
+  List.iter (fun w -> pf fmt "%s" (String.make w '-')) widths;
+  pf fmt "@."
+
+(* ---------- Table 1: microarchitecture parameters (configuration) ------ *)
+
+let table1 fmt ~scale:_ =
+  header fmt "Table 1: microarchitecture parameters (as simulated)";
+  let o = Uarch.Ooo.default_params in
+  let i = Uarch.Ildp.default_params in
+  pf fmt "%-26s | %-34s | %-34s@." "" "out-of-order superscalar" "ILDP";
+  row_rule fmt [ 27; 37; 35 ];
+  let line k a b = pf fmt "%-26s | %-34s | %-34s@." k a b in
+  line "branch prediction"
+    "16K x 2-bit gshare, 12-bit history" "same";
+  line "" "512-entry 4-way BTB, 8-entry RAS" "same + dual-address RAS";
+  line "fetch redirect" (Printf.sprintf "%d cycles" o.redirect) "same";
+  line "I-cache"
+    (Printf.sprintf "%dKB direct, %dB lines, <=%d BBs" (o.icache_size / 1024)
+       o.icache_line o.max_blocks)
+    "same";
+  line "D-cache"
+    (Printf.sprintf "%dKB %d-way, %dB lines, %d cycles" (o.mem.l1_size / 1024)
+       o.mem.l1_ways o.mem.l1_line o.mem.l1_lat)
+    "same or 8KB 2-way; replicated/PE";
+  line "L2"
+    (Printf.sprintf "%dMB %d-way, %d cycles" (o.mem.l2_size / 1024 / 1024)
+       o.mem.l2_ways o.mem.l2_lat)
+    "same";
+  line "memory" (Printf.sprintf "%d cycles" o.mem.mem_lat) "same";
+  line "reorder buffer" (Printf.sprintf "%d Alpha insns" o.rob)
+    (Printf.sprintf "%d ILDP insns" i.rob);
+  line "decode/retire" (Printf.sprintf "%d/cycle" o.width)
+    (Printf.sprintf "%d/cycle" i.width);
+  line "issue" (Printf.sprintf "window %d, %d/cycle" o.rob o.width)
+    "FIFO heads, 1/PE/cycle";
+  line "execution" "4 symmetric FUs" "4/6/8 PEs";
+  line "communication" "0 cycles" "0 or 2 cycles global"
+
+(* ---------- Table 2: translated instruction statistics ---------- *)
+
+let table2 fmt ~scale =
+  header fmt
+    "Table 2: translated instruction statistics (B = basic ISA, M = modified)";
+  pf fmt
+    "%-10s | %13s | %13s | %13s | %13s@." "benchmark"
+    "rel dyn insns" "% copy insns" "rel st. bytes" "DBT work/insn";
+  pf fmt "%-10s | %6s %6s | %6s %6s | %6s %6s | %13s@." "" "B" "M" "B" "M" "B"
+    "M" "";
+  row_rule fmt [ 11; 15; 15; 15; 15 ];
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let b = Runner.acc ~isa:Core.Config.Basic ~scale w in
+        let m = Runner.acc ~isa:Core.Config.Modified ~scale w in
+        let rel (r : Runner.acc_out) =
+          float_of_int r.a_i_exec /. float_of_int (max 1 r.a_alpha)
+        in
+        let copy (r : Runner.acc_out) =
+          100.0 *. float_of_int r.a_copies /. float_of_int (max 1 r.a_i_exec)
+        in
+        let bytes (r : Runner.acc_out) =
+          float_of_int r.a_i_bytes /. float_of_int (max 1 r.a_v_bytes)
+        in
+        (w.name, rel b, rel m, copy b, copy m, bytes b, bytes m, m.a_dbt_work))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, rb, rm, cb, cm, bb, bm, work) ->
+      pf fmt "%-10s | %6.2f %6.2f | %6.1f %6.1f | %6.2f %6.2f | %13.0f@." n rb
+        rm cb cm bb bm work)
+    rows;
+  let avg f = Runner.mean (List.map f rows) in
+  pf fmt "%-10s | %6.2f %6.2f | %6.1f %6.1f | %6.2f %6.2f | %13.0f@." "Avg."
+    (avg (fun (_, x, _, _, _, _, _, _) -> x))
+    (avg (fun (_, _, x, _, _, _, _, _) -> x))
+    (avg (fun (_, _, _, x, _, _, _, _) -> x))
+    (avg (fun (_, _, _, _, x, _, _, _) -> x))
+    (avg (fun (_, _, _, _, _, x, _, _) -> x))
+    (avg (fun (_, _, _, _, _, _, x, _) -> x))
+    (avg (fun (_, _, _, _, _, _, _, x) -> x))
+
+(* ---------- Fig. 4: mispredictions per 1000 instructions ---------- *)
+
+let fig4 fmt ~scale =
+  header fmt
+    "Fig. 4: branch/jump mispredictions per 1000 instructions\n\
+     (code-straightening-only DBT on the superscalar model)";
+  pf fmt "%-10s | %9s | %9s | %14s | %11s@." "benchmark" "original" "no_pred"
+    "sw_pred.no_ras" "sw_pred.ras";
+  row_rule fmt [ 11; 11; 11; 16; 13 ];
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let orig = (Runner.original ~scale w).mpki in
+        let np = (Runner.straight ~chaining:Core.Config.No_pred ~scale w).s_t.mpki in
+        let sw =
+          (Runner.straight ~chaining:Core.Config.Sw_pred_no_ras ~scale w).s_t.mpki
+        in
+        let ras =
+          (Runner.straight ~chaining:Core.Config.Sw_pred_ras ~scale w).s_t.mpki
+        in
+        (w.name, orig, np, sw, ras))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, o, np, sw, ras) ->
+      pf fmt "%-10s | %9.2f | %9.2f | %14.2f | %11.2f@." n o np sw ras)
+    rows;
+  let avg f = Runner.mean (List.map f rows) in
+  pf fmt "%-10s | %9.2f | %9.2f | %14.2f | %11.2f@." "Avg."
+    (avg (fun (_, x, _, _, _) -> x))
+    (avg (fun (_, _, x, _, _) -> x))
+    (avg (fun (_, _, _, x, _) -> x))
+    (avg (fun (_, _, _, _, x) -> x))
+
+(* ---------- Fig. 5: relative instruction count from chaining ---------- *)
+
+let fig5 fmt ~scale =
+  header fmt
+    "Fig. 5: relative dynamic instruction count of straightened+chained code\n\
+     (straightened Alpha instructions / original Alpha instructions)";
+  pf fmt "%-10s | %9s | %14s | %11s@." "benchmark" "no_pred" "sw_pred.no_ras"
+    "sw_pred.ras";
+  row_rule fmt [ 11; 11; 16; 13 ];
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let rel ch =
+          let s = Runner.straight ~chaining:ch ~scale w in
+          float_of_int s.s_i_exec /. float_of_int (max 1 s.s_alpha)
+        in
+        ( w.name,
+          rel Core.Config.No_pred,
+          rel Core.Config.Sw_pred_no_ras,
+          rel Core.Config.Sw_pred_ras ))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, a, b, c) -> pf fmt "%-10s | %9.3f | %14.3f | %11.3f@." n a b c)
+    rows;
+  let avg f = Runner.mean (List.map f rows) in
+  pf fmt "%-10s | %9.3f | %14.3f | %11.3f@." "Avg."
+    (avg (fun (_, x, _, _) -> x))
+    (avg (fun (_, _, x, _) -> x))
+    (avg (fun (_, _, _, x) -> x))
+
+(* ---------- Fig. 6: code straightening and hardware RAS ---------- *)
+
+let fig6 fmt ~scale =
+  header fmt
+    "Fig. 6: IPC impact of code straightening and H/W RAS (superscalar model)";
+  pf fmt "%-10s | %12s | %14s | %10s | %14s@." "benchmark" "orig, no RAS"
+    "strght, no RAS" "orig, RAS" "strght, dualRAS";
+  row_rule fmt [ 11; 14; 16; 12; 16 ];
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let o_nr = (Runner.original ~use_ras:false ~scale w).v_ipc in
+        let s_nr =
+          (Runner.straight ~chaining:Core.Config.Sw_pred_no_ras ~scale w).s_t.v_ipc
+        in
+        let o_r = (Runner.original ~scale w).v_ipc in
+        let s_r =
+          (Runner.straight ~chaining:Core.Config.Sw_pred_ras ~scale w).s_t.v_ipc
+        in
+        (w.name, o_nr, s_nr, o_r, s_r))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, a, b, c, d) ->
+      pf fmt "%-10s | %12.3f | %14.3f | %10.3f | %14.3f@." n a b c d)
+    rows;
+  let gm f = Runner.geomean (List.map f rows) in
+  pf fmt "%-10s | %12.3f | %14.3f | %10.3f | %14.3f@." "Geomean"
+    (gm (fun (_, x, _, _, _) -> x))
+    (gm (fun (_, _, x, _, _) -> x))
+    (gm (fun (_, _, _, x, _) -> x))
+    (gm (fun (_, _, _, _, x) -> x));
+  (* the paper's "bail-out" observation: improvement over the original
+     (with RAS), excluding benchmarks where straightening loses *)
+  let gains =
+    List.filter_map
+      (fun (_, _, _, o_r, s_r) -> if s_r > o_r then Some (s_r /. o_r) else None)
+      rows
+  in
+  pf fmt
+    "@.straightening gain where it wins (the paper's bail-out view): %+.1f%%  \
+     (%d/%d benchmarks improve)@."
+    (100.0 *. (Runner.geomean gains -. 1.0))
+    (List.length gains) (List.length rows)
+
+(* ---------- Fig. 7: output register value usage ---------- *)
+
+let fig7 fmt ~scale =
+  header fmt
+    "Fig. 7: output register value usage (dynamic %, over translated \
+     superblocks)";
+  let cats =
+    [ Core.Usage.Temp; No_user; Local; No_user_global; Local_global;
+      Comm_global; Liveout_global ]
+  in
+  pf fmt "%-10s |" "benchmark";
+  List.iter (fun c -> pf fmt " %9s |" (Core.Usage.category_name c)) cats;
+  pf fmt "@.";
+  row_rule fmt [ 11; 12 * List.length cats ];
+  let all_rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let r = Runner.acc ~isa:Core.Config.Modified ~scale w in
+        (w.name, r.a_cat_dyn))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, dist) ->
+      pf fmt "%-10s |" n;
+      List.iter
+        (fun c -> pf fmt " %8.1f%% |" (100.0 *. dist.(Core.Tcache.cat_index c)))
+        cats;
+      pf fmt "@.")
+    all_rows;
+  pf fmt "%-10s |" "Avg.";
+  List.iter
+    (fun c ->
+      let avg =
+        Runner.mean
+          (List.map (fun (_, d) -> 100.0 *. d.(Core.Tcache.cat_index c)) all_rows)
+      in
+      pf fmt " %8.1f%% |" avg)
+    cats;
+  pf fmt "@.";
+  let avg_of sel =
+    Runner.mean
+      (List.map
+         (fun (_, d) ->
+           100.0 *. List.fold_left (fun a c -> a +. d.(Core.Tcache.cat_index c)) 0.0 sel)
+         all_rows)
+  in
+  pf fmt
+    "@.global outputs, modified ISA (liveout+comm)          : %5.1f%%@."
+    (avg_of [ Core.Usage.Comm_global; Liveout_global ]);
+  pf fmt
+    "global outputs incl. basic-ISA save classes (paper ~40%%): %5.1f%%@."
+    (avg_of
+       [ Core.Usage.Comm_global; Liveout_global; Local_global; No_user_global ])
+
+(* ---------- Fig. 8: IPC comparison ---------- *)
+
+let ildp_base n_pe comm l1 n_accs : Uarch.Ildp.params =
+  let mem =
+    if l1 = `Small then Machine.Memhier.small_l1 Machine.Memhier.default_cfg
+    else Machine.Memhier.default_cfg
+  in
+  ignore n_accs;
+  { Uarch.Ildp.default_params with n_pe; comm; mem }
+
+let fig8 fmt ~scale =
+  header fmt
+    "Fig. 8: V-ISA IPC comparison (ILDP: 8 PEs, 32KB L1, 0-cycle comm)";
+  pf fmt "%-10s | %9s | %12s | %10s | %10s | %12s@." "benchmark" "orig s-s"
+    "straight s-s" "ILDP basic" "ILDP modif" "native I-IPC";
+  row_rule fmt [ 11; 11; 14; 12; 12; 14 ];
+  let params = ildp_base 8 0 `Big 4 in
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let o = (Runner.original ~scale w).v_ipc in
+        let s =
+          (Runner.straight ~chaining:Core.Config.Sw_pred_ras ~scale w).s_t.v_ipc
+        in
+        let b = Runner.acc ~isa:Core.Config.Basic ~ildp:params ~scale w in
+        let m = Runner.acc ~isa:Core.Config.Modified ~ildp:params ~scale w in
+        ( w.name,
+          o,
+          s,
+          (Option.get b.a_t).v_ipc,
+          (Option.get m.a_t).v_ipc,
+          (Option.get m.a_t).ipc ))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, o, s, b, m, ni) ->
+      pf fmt "%-10s | %9.3f | %12.3f | %10.3f | %10.3f | %12.3f@." n o s b m ni)
+    rows;
+  let gm f = Runner.geomean (List.map f rows) in
+  let go = gm (fun (_, x, _, _, _, _) -> x)
+  and gs = gm (fun (_, _, x, _, _, _) -> x)
+  and gb = gm (fun (_, _, _, x, _, _) -> x)
+  and gm_ = gm (fun (_, _, _, _, x, _) -> x)
+  and gn = gm (fun (_, _, _, _, _, x) -> x) in
+  pf fmt "%-10s | %9.3f | %12.3f | %10.3f | %10.3f | %12.3f@." "Geomean" go gs
+    gb gm_ gn;
+  pf fmt "@.modified-ISA IPC cost vs straightened superscalar: %.1f%%@."
+    (100.0 *. (1.0 -. (gm_ /. gs)))
+
+(* ---------- Fig. 9: IPC over machine parameters ---------- *)
+
+let fig9 fmt ~scale =
+  header fmt "Fig. 9: ILDP (modified ISA) V-IPC over machine parameters";
+  let configs =
+    [
+      ("8 accs, 8PE 32KB c0", 8, ildp_base 8 0 `Big 8);
+      ("4 accs, 8PE 32KB c0", 4, ildp_base 8 0 `Big 4);
+      ("4 accs, 8PE  8KB c0", 4, ildp_base 8 0 `Small 4);
+      ("4 accs, 8PE  8KB c2", 4, ildp_base 8 2 `Small 4);
+      ("4 accs, 6PE 32KB c0", 4, ildp_base 6 0 `Big 4);
+      ("4 accs, 4PE 32KB c0", 4, ildp_base 4 0 `Big 4);
+    ]
+  in
+  pf fmt "%-10s |" "benchmark";
+  List.iter (fun (n, _, _) -> pf fmt " %19s |" n) configs;
+  pf fmt "@.";
+  row_rule fmt [ 11; 22 * List.length configs ];
+  let table =
+    List.map
+      (fun (w : Workloads.t) ->
+        ( w.name,
+          List.map
+            (fun (_, n_accs, params) ->
+              let r =
+                Runner.acc ~isa:Core.Config.Modified ~n_accs ~ildp:params ~scale w
+              in
+              (Option.get r.a_t).v_ipc)
+            configs ))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, vals) ->
+      pf fmt "%-10s |" n;
+      List.iter (fun v -> pf fmt " %19.3f |" v) vals;
+      pf fmt "@.")
+    table;
+  pf fmt "%-10s |" "Geomean";
+  let gms =
+    List.mapi
+      (fun i _ -> Runner.geomean (List.map (fun (_, vs) -> List.nth vs i) table))
+      configs
+  in
+  List.iter (fun v -> pf fmt " %19.3f |" v) gms;
+  pf fmt "@.";
+  (match gms with
+  | [ a8; base; small; comm2; pe6; pe4 ] ->
+    pf fmt "@.8 accumulators vs 4      : %+5.1f%%@." (100.0 *. ((a8 /. base) -. 1.0));
+    pf fmt "8KB replicated L1 vs 32KB: %+5.1f%%@." (100.0 *. ((small /. base) -. 1.0));
+    pf fmt "2-cycle comm vs 0 (8KB)  : %+5.1f%%@." (100.0 *. ((comm2 /. small) -. 1.0));
+    pf fmt "6 PEs vs 8               : %+5.1f%%@." (100.0 *. ((pe6 /. base) -. 1.0));
+    pf fmt "4 PEs vs 8               : %+5.1f%%@." (100.0 *. ((pe4 /. base) -. 1.0))
+  | _ -> ())
+
+(* ---------- Section 4.2: translation overhead ---------- *)
+
+let sec42 fmt ~scale =
+  header fmt
+    "Section 4.2: DBT work units per translated V-ISA instruction\n\
+     (one unit models one host instruction; cf. paper avg 1125, DAISY 4000+)";
+  pf fmt "%-10s | %12s | %12s | %10s | %12s@." "benchmark" "work/insn"
+    "translated" "fragments" "interp insns";
+  row_rule fmt [ 11; 14; 14; 12; 14 ];
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let r = Runner.acc ~isa:Core.Config.Modified ~scale w in
+        (w.name, r.a_dbt_work, r.a_alpha, r.a_frags, r.a_interp))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, work, alpha, frags, interp) ->
+      pf fmt "%-10s | %12.0f | %12d | %10d | %12d@." n work alpha frags interp)
+    rows;
+  pf fmt "%-10s | %12.0f |@." "Avg."
+    (Runner.mean (List.map (fun (_, w, _, _, _) -> w) rows))
+
+(* ---------- ablations of the design choices DESIGN.md calls out ---------- *)
+
+(* Section 4.5: "One way to deal with this instruction count expansion is to
+   not split memory instructions into two." *)
+let abl_fuse fmt ~scale =
+  header fmt
+    "Ablation (Section 4.5): fused memory addressing vs split address calc\n\
+     (modified ISA, ILDP 8 PEs; expansion and V-IPC per benchmark)";
+  pf fmt "%-10s | %11s | %11s | %10s | %10s@." "benchmark" "expand split"
+    "expand fused" "IPC split" "IPC fused";
+  row_rule fmt [ 11; 13; 13; 12; 12 ];
+  let params = ildp_base 8 0 `Big 4 in
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let s = Runner.acc ~ildp:params ~scale w in
+        let f = Runner.acc ~fuse_mem:true ~ildp:params ~scale w in
+        let ex (r : Runner.acc_out) =
+          float_of_int r.a_i_exec /. float_of_int (max 1 r.a_alpha)
+        in
+        (w.name, ex s, ex f, (Option.get s.a_t).v_ipc, (Option.get f.a_t).v_ipc))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, a, b, c, d) ->
+      pf fmt "%-10s | %11.3f | %11.3f | %10.3f | %10.3f@." n a b c d)
+    rows;
+  let gm f = Runner.geomean (List.map f rows) in
+  pf fmt "%-10s | %11.3f | %11.3f | %10.3f | %10.3f@." "Geomean"
+    (gm (fun (_, x, _, _, _) -> x))
+    (gm (fun (_, _, x, _, _) -> x))
+    (gm (fun (_, _, _, x, _) -> x))
+    (gm (fun (_, _, _, _, x) -> x))
+
+(* Section 4.1: "We also experimented with superblock size of 50 and found
+   it is not large enough to provide performance benefits from code
+   straightening." *)
+let abl_sbsize fmt ~scale =
+  header fmt
+    "Ablation (Section 4.1): maximum superblock size (modified ISA, ILDP)";
+  pf fmt "%-10s | %8s | %8s | %8s@." "benchmark" "size 50" "size 200" "size 400";
+  row_rule fmt [ 11; 10; 10; 10 ];
+  let params = ildp_base 8 0 `Big 4 in
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let ipc n =
+          (Option.get (Runner.acc ~max_superblock:n ~ildp:params ~scale w).a_t)
+            .v_ipc
+        in
+        (w.name, ipc 50, ipc 200, ipc 400))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, a, b, c) -> pf fmt "%-10s | %8.3f | %8.3f | %8.3f@." n a b c)
+    rows;
+  let gm f = Runner.geomean (List.map f rows) in
+  pf fmt "%-10s | %8.3f | %8.3f | %8.3f@." "Geomean"
+    (gm (fun (_, x, _, _) -> x))
+    (gm (fun (_, _, x, _) -> x))
+    (gm (fun (_, _, _, x) -> x))
+
+(* Hot threshold: interpretation/translation balance (Section 4.1 uses 50). *)
+let abl_threshold fmt ~scale =
+  header fmt "Ablation: hot threshold (interpreted fraction and fragments)";
+  pf fmt "%-10s | %14s | %14s | %14s@." "benchmark" "thr 10" "thr 50" "thr 200";
+  pf fmt "%-10s | %6s %7s | %6s %7s | %6s %7s@." "" "int%" "frags" "int%"
+    "frags" "int%" "frags";
+  row_rule fmt [ 11; 16; 16; 16 ];
+  List.iter
+    (fun (w : Workloads.t) ->
+      let cell thr =
+        let r = Runner.acc ~hot_threshold:thr ~scale w in
+        let pct =
+          100.0
+          *. float_of_int r.a_interp
+          /. float_of_int (max 1 (r.a_interp + r.a_alpha))
+        in
+        (pct, r.a_frags)
+      in
+      let p10, f10 = cell 10 and p50, f50 = cell 50 and p200, f200 = cell 200 in
+      pf fmt "%-10s | %5.1f%% %7d | %5.1f%% %7d | %5.1f%% %7d@." w.name p10 f10
+        p50 f50 p200 f200)
+    Workloads.all
+
+(* Dynamo-style fragment linking (end formation at existing fragments)
+   versus the paper's pure ending conditions. *)
+let abl_linking fmt ~scale =
+  header fmt
+    "Ablation: superblock formation stops at existing fragments (Dynamo\n\
+     linking) vs the paper's ending rules only";
+  pf fmt "%-10s | %12s | %12s | %12s | %12s@." "benchmark" "bytes paper"
+    "bytes linked" "IPC paper" "IPC linked";
+  row_rule fmt [ 11; 14; 14; 14; 14 ];
+  let params = ildp_base 8 0 `Big 4 in
+  let rows =
+    List.map
+      (fun (w : Workloads.t) ->
+        let p = Runner.acc ~ildp:params ~scale w in
+        let l = Runner.acc ~stop_at_translated:true ~ildp:params ~scale w in
+        let bytes (r : Runner.acc_out) =
+          float_of_int r.a_i_bytes /. float_of_int (max 1 r.a_v_bytes)
+        in
+        (w.name, bytes p, bytes l, (Option.get p.a_t).v_ipc, (Option.get l.a_t).v_ipc))
+      Workloads.all
+  in
+  List.iter
+    (fun (n, a, b, c, d) ->
+      pf fmt "%-10s | %12.3f | %12.3f | %12.3f | %12.3f@." n a b c d)
+    rows;
+  let gm f = Runner.geomean (List.map f rows) in
+  pf fmt "%-10s | %12.3f | %12.3f | %12.3f | %12.3f@." "Geomean"
+    (gm (fun (_, x, _, _, _) -> x))
+    (gm (fun (_, _, x, _, _) -> x))
+    (gm (fun (_, _, _, x, _) -> x))
+    (gm (fun (_, _, _, _, x) -> x))
+
+(* ---------- registry ---------- *)
+
+let all : (string * string * (Format.formatter -> scale:int -> unit)) list =
+  [
+    ("table1", "microarchitecture parameters", table1);
+    ("table2", "translated instruction statistics", table2);
+    ("fig4", "mispredictions per 1000 instructions", fig4);
+    ("fig5", "relative instruction count from chaining", fig5);
+    ("fig6", "code straightening and H/W RAS IPC", fig6);
+    ("fig7", "output register value usage", fig7);
+    ("fig8", "IPC comparison", fig8);
+    ("fig9", "IPC over machine parameters", fig9);
+    ("sec42", "translation overhead", sec42);
+    ("abl_fuse", "ablation: fused memory addressing (Sec 4.5)", abl_fuse);
+    ("abl_sbsize", "ablation: superblock size (Sec 4.1)", abl_sbsize);
+    ("abl_threshold", "ablation: hot threshold", abl_threshold);
+    ("abl_linking", "ablation: Dynamo fragment linking", abl_linking);
+  ]
+
+let run_all fmt ~scale =
+  List.iter (fun (_, _, f) -> f fmt ~scale) all
+
+let find id =
+  List.find_opt (fun (i, _, _) -> i = id) all

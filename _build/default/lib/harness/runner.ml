@@ -1,0 +1,232 @@
+(* Shared experiment runners.
+
+   Each runner executes one workload under one system configuration and
+   collects the statistics the experiments need. Results are memoised per
+   (workload, configuration, scale) so experiments that share a
+   configuration (e.g. the Fig. 6 and Fig. 8 baselines) reuse runs within
+   one process. *)
+
+type timing = {
+  cycles : int;
+  insns : int; (* instructions committed by the timing model *)
+  alpha : int; (* V-ISA instructions those represent *)
+  v_ipc : float;
+  ipc : float;
+  mpki : float; (* mispredictions per 1000 committed instructions *)
+  misfetch_pki : float;
+}
+
+let fuel = 100_000_000
+
+(* ---------- original (native Alpha on the superscalar model) ---------- *)
+
+let original_raw ~use_ras w ~scale =
+  let prog = Workloads.program ~scale w in
+  let st = Alpha.Interp.create prog in
+  let m = Uarch.Ooo.create ~use_ras () in
+  (match Alpha.Interp.run_ev ~fuel st ~sink:(Uarch.Ooo.feed m) with
+  | Alpha.Interp.Exit _ -> ()
+  | Fault tr ->
+    failwith (Format.asprintf "%s (original): %a" w.name Alpha.Interp.pp_trap tr)
+  | Out_of_fuel -> failwith (w.name ^ ": out of fuel"));
+  let cycles = Uarch.Ooo.cycles m in
+  {
+    cycles;
+    insns = m.n;
+    alpha = m.alpha;
+    v_ipc = Uarch.Ooo.v_ipc m;
+    ipc = Uarch.Ooo.ipc m;
+    mpki = Uarch.Pred.mpki m.pred ~insns:m.n;
+    misfetch_pki = 1000.0 *. float_of_int m.pred.misfetches /. float_of_int (max 1 m.n);
+  }
+
+(* ---------- code-straightening-only DBT on the superscalar model ------- *)
+
+type straight_out = {
+  s_t : timing;
+  s_i_exec : int; (* translated instructions executed *)
+  s_alpha : int; (* V-ISA instructions retired in translated mode *)
+  s_interp : int; (* instructions interpreted instead *)
+  s_frags : int;
+  s_dbt_work : float;
+}
+
+let straight_raw ~chaining w ~scale =
+  let prog = Workloads.program ~scale w in
+  let cfg = { Core.Config.default with chaining } in
+  let vm = Core.Vm.create ~cfg ~kind:Core.Vm.Straight_only prog in
+  let m = Uarch.Ooo.create () in
+  (match
+     Core.Vm.run ~sink:(Uarch.Ooo.feed m)
+       ~boundary:(fun () -> Uarch.Ooo.boundary m)
+       ~fuel vm
+   with
+  | Core.Vm.Exit _ -> ()
+  | Fault tr ->
+    failwith (Format.asprintf "%s (straight): %a" w.name Alpha.Interp.pp_trap tr)
+  | Out_of_fuel -> failwith (w.name ^ ": out of fuel"));
+  let ex = Option.get (Core.Vm.straight_exec vm) in
+  let ctx = Option.get (Core.Vm.straight_ctx vm) in
+  {
+    s_t =
+      {
+        cycles = Uarch.Ooo.cycles m;
+        insns = m.n;
+        alpha = m.alpha;
+        v_ipc = Uarch.Ooo.v_ipc m;
+        ipc = Uarch.Ooo.ipc m;
+        mpki = Uarch.Pred.mpki m.pred ~insns:m.n;
+        misfetch_pki =
+          1000.0 *. float_of_int m.pred.misfetches /. float_of_int (max 1 m.n);
+      };
+    s_i_exec = ex.stats.i_exec;
+    s_alpha = ex.stats.alpha_retired;
+    s_interp = vm.interp_insns;
+    s_frags = List.length (Core.Tcache.Straight.fragments ctx.tc);
+    s_dbt_work = Core.Cost.per_translated_insn ctx.cost;
+  }
+
+(* ---------- accumulator-ISA DBT, optionally on the ILDP model ---------- *)
+
+type acc_out = {
+  a_t : timing option;
+  a_i_exec : int;
+  a_alpha : int;
+  a_interp : int;
+  a_copies : int; (* copy-class instructions executed *)
+  a_chain : int; (* chain-class instructions executed *)
+  a_i_bytes : int; (* static translated bytes *)
+  a_v_bytes : int; (* static V-ISA bytes of distinct translated insns *)
+  a_dbt_work : float;
+  a_frags : int;
+  a_spills : int;
+  a_splits : int;
+  a_dras_hit : float;
+  a_cat_dyn : float array; (* dynamic usage-category distribution *)
+}
+
+let acc_raw ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
+    ?(n_accs = 4) ?(fuse_mem = false) ?(stop_at_translated = false)
+    ?(max_superblock = 200) ?(hot_threshold = 50) ?ildp w ~scale =
+  let prog = Workloads.program ~scale w in
+  let cfg =
+    {
+      Core.Config.isa;
+      chaining;
+      n_accs;
+      fuse_mem;
+      stop_at_translated;
+      max_superblock;
+      hot_threshold;
+    }
+  in
+  let vm = Core.Vm.create ~cfg ~kind:Core.Vm.Acc prog in
+  let m = Option.map (fun params -> Uarch.Ildp.create ~params ()) ildp in
+  let sink = Option.map (fun m -> Uarch.Ildp.feed m) m in
+  let boundary = Option.map (fun m () -> Uarch.Ildp.boundary m) m in
+  (match Core.Vm.run ?sink ?boundary ~fuel vm with
+  | Core.Vm.Exit _ -> ()
+  | Fault tr ->
+    failwith (Format.asprintf "%s (acc): %a" w.name Alpha.Interp.pp_trap tr)
+  | Out_of_fuel -> failwith (w.name ^ ": out of fuel"));
+  let ex = Option.get (Core.Vm.acc_exec vm) in
+  let ctx = Option.get (Core.Vm.acc_ctx vm) in
+  let frags = Core.Tcache.Acc.fragments ctx.tc in
+  (* dynamic usage-category distribution: per-fragment static counts
+     weighted by execution counts *)
+  let cat = Array.make Core.Tcache.n_categories 0.0 in
+  List.iter
+    (fun (f : Core.Tcache.frag) ->
+      Array.iteri
+        (fun i c -> cat.(i) <- cat.(i) +. float_of_int (c * f.exec_count))
+        f.cat_count)
+    frags;
+  let total_cat = Array.fold_left ( +. ) 0.0 cat in
+  let cat_dyn =
+    Array.map (fun c -> if total_cat > 0.0 then c /. total_cat else 0.0) cat
+  in
+  {
+    a_t =
+      Option.map
+        (fun m ->
+          {
+            cycles = Uarch.Ildp.cycles m;
+            insns = m.Uarch.Ildp.n;
+            alpha = m.alpha;
+            v_ipc = Uarch.Ildp.v_ipc m;
+            ipc = Uarch.Ildp.ipc m;
+            mpki = Uarch.Pred.mpki m.pred ~insns:m.n;
+            misfetch_pki =
+              1000.0 *. float_of_int m.pred.misfetches /. float_of_int (max 1 m.n);
+          })
+        m;
+    a_i_exec = ex.stats.i_exec;
+    a_alpha = ex.stats.alpha_retired;
+    a_interp = vm.interp_insns;
+    a_copies = ex.stats.by_class.(1);
+    a_chain = ex.stats.by_class.(2);
+    a_i_bytes = Core.Tcache.Acc.total_i_bytes ctx.tc;
+    a_v_bytes = 4 * Hashtbl.length ctx.unique_vpcs;
+    a_dbt_work = Core.Cost.per_translated_insn ctx.cost;
+    a_frags = List.length frags;
+    a_spills = ctx.n_spills;
+    a_splits = ctx.n_splits;
+    a_dras_hit =
+      (let h = ex.stats.ret_dras_hits and m' = ex.stats.ret_dras_misses in
+       if h + m' = 0 then 1.0 else float_of_int h /. float_of_int (h + m'));
+    a_cat_dyn = cat_dyn;
+  }
+
+(* ---------- memoisation ---------- *)
+
+let orig_cache : (string * bool * int, timing) Hashtbl.t = Hashtbl.create 64
+let straight_cache : (string * Core.Config.chaining * int, straight_out) Hashtbl.t =
+  Hashtbl.create 64
+let acc_cache : (string, acc_out) Hashtbl.t = Hashtbl.create 64
+
+let memo cache key f =
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Hashtbl.replace cache key v;
+    v
+
+let original ?(use_ras = true) ?(scale = 1) w =
+  memo orig_cache (w.Workloads.name, use_ras, scale) (fun () ->
+      original_raw ~use_ras w ~scale)
+
+let straight ?(chaining = Core.Config.Sw_pred_ras) ?(scale = 1) w =
+  memo straight_cache (w.Workloads.name, chaining, scale) (fun () ->
+      straight_raw ~chaining w ~scale)
+
+let acc ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
+    ?(n_accs = 4) ?(fuse_mem = false) ?(stop_at_translated = false)
+    ?(max_superblock = 200) ?(hot_threshold = 50) ?ildp ?(scale = 1) w =
+  let key =
+    Printf.sprintf "%s/%s/%s/%d/%b/%b/%d/%d/%s/%d" w.Workloads.name
+      (Core.Config.isa_name isa)
+      (Core.Config.chaining_name chaining)
+      n_accs fuse_mem stop_at_translated max_superblock hot_threshold
+      (match ildp with
+      | None -> "none"
+      | Some (p : Uarch.Ildp.params) ->
+        Printf.sprintf "pe%d.c%d.l1%d" p.n_pe p.comm p.mem.l1_size)
+      scale
+  in
+  memo acc_cache key (fun () ->
+      acc_raw ~isa ~chaining ~n_accs ~fuse_mem ~stop_at_translated
+        ~max_superblock ~hot_threshold ?ildp w ~scale)
+
+(* geometric mean, the usual summary for IPC-like ratios *)
+let geomean xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    exp (List.fold_left (fun a x -> a +. log (max 1e-9 x)) 0.0 xs
+         /. float_of_int (List.length xs))
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

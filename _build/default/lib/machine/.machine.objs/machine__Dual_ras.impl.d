@@ -1,0 +1,1 @@
+lib/machine/dual_ras.ml: Array

@@ -1,0 +1,1 @@
+lib/machine/gshare.ml: Bytes Char

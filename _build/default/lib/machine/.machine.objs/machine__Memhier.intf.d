@@ -1,0 +1,1 @@
+lib/machine/memhier.mli: Cache

@@ -1,0 +1,1 @@
+lib/machine/rng.ml: Int64

@@ -1,0 +1,105 @@
+(* Generic set-associative cache timing model.
+
+   Tracks tags only (data flows through the functional simulator); an access
+   returns whether it hit, and installs the line on miss. Supports the two
+   replacement policies used in the paper's Table 1: LRU (instruction caches)
+   and random (data and L2 caches). *)
+
+type policy = Lru | Random
+
+type t = {
+  name : string;
+  line_bits : int;        (* log2 line size in bytes *)
+  sets : int;             (* number of sets, power of two *)
+  ways : int;
+  policy : policy;
+  tags : int array;       (* sets*ways, -1 = invalid *)
+  stamp : int array;      (* LRU timestamps, parallel to [tags] *)
+  rng : Rng.t;
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+(* [create ~name ~size ~line ~ways ~policy] builds a cache of [size] bytes
+   total with [line]-byte lines. [size], [line] and [ways] must divide into a
+   power-of-two number of sets. *)
+let create ~name ~size ~line ~ways ~policy =
+  let sets = size / (line * ways) in
+  assert (sets > 0 && sets land (sets - 1) = 0);
+  {
+    name;
+    line_bits = log2 line;
+    sets;
+    ways;
+    policy;
+    tags = Array.make (sets * ways) (-1);
+    stamp = Array.make (sets * ways) 0;
+    rng = Rng.create 0x5eed;
+    tick = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.tick <- 0;
+  t.accesses <- 0;
+  t.misses <- 0
+
+let line_addr t addr = addr lsr t.line_bits
+
+(* Probe without installing or updating statistics (used by multi-level
+   lookups that want to ask "would this hit?"). *)
+let probe t addr =
+  let l = line_addr t addr in
+  let set = l land (t.sets - 1) in
+  let base = set * t.ways in
+  let rec go w = w < t.ways && (t.tags.(base + w) = l || go (w + 1)) in
+  go 0
+
+(* Access a line: returns [true] on hit. On miss the line is installed,
+   evicting per policy. *)
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.tick <- t.tick + 1;
+  let l = line_addr t addr in
+  let set = l land (t.sets - 1) in
+  let base = set * t.ways in
+  let hit_way = ref (-1) in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) = l then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    t.stamp.(base + !hit_way) <- t.tick;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* choose victim: an invalid way if any, else per policy *)
+    let victim = ref (-1) in
+    for w = 0 to t.ways - 1 do
+      if !victim < 0 && t.tags.(base + w) = -1 then victim := w
+    done;
+    if !victim < 0 then begin
+      match t.policy with
+      | Random -> victim := Rng.int t.rng t.ways
+      | Lru ->
+        let best = ref 0 in
+        for w = 1 to t.ways - 1 do
+          if t.stamp.(base + w) < t.stamp.(base + !best) then best := w
+        done;
+        victim := !best
+    end;
+    t.tags.(base + !victim) <- l;
+    t.stamp.(base + !victim) <- t.tick;
+    false
+  end
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses

@@ -1,0 +1,37 @@
+(** Generic set-associative cache timing model.
+
+    Tracks tags only — data flows through the functional simulator. Both
+    replacement policies of the paper's Table 1 are provided: LRU
+    (instruction caches) and random (data and L2 caches). *)
+
+type policy = Lru | Random
+
+type t = {
+  name : string;
+  line_bits : int;
+  sets : int;
+  ways : int;
+  policy : policy;
+  tags : int array;
+  stamp : int array;
+  rng : Rng.t;
+  mutable tick : int;
+  mutable accesses : int;  (** total accesses *)
+  mutable misses : int;  (** total misses *)
+}
+
+val create :
+  name:string -> size:int -> line:int -> ways:int -> policy:policy -> t
+(** [create ~name ~size ~line ~ways ~policy] builds a cache of [size] bytes
+    with [line]-byte lines; the set count must come out a power of two. *)
+
+val clear : t -> unit
+
+val probe : t -> int -> bool
+(** Tag check without installing or counting. *)
+
+val access : t -> int -> bool
+(** Access the line containing the address: [true] on hit; on miss the line
+    is installed, evicting per policy. *)
+
+val miss_rate : t -> float

@@ -1,0 +1,61 @@
+(* Dual-address return address stack — the paper's proposed co-designed VM
+   hardware feature (Section 3.2).
+
+   Each entry pairs a V-ISA (source) return address with the I-ISA
+   (translated-code) address at which execution should resume. A
+   [push-dual-RAS] instruction pushes the pair; a dual-RAS return pops it,
+   compares the predicted V-address against the architected return-address
+   register, and on a match jumps straight to the popped I-address. On a
+   mismatch control falls through to chaining code that reaches the shared
+   dispatch. *)
+
+type entry = { v_addr : int; i_addr : int }
+
+type t = {
+  buf : entry array;
+  mutable top : int;
+  mutable depth : int;
+  mutable pushes : int;
+  mutable pops : int;
+  mutable hits : int;
+}
+
+let create ?(entries = 8) () =
+  {
+    buf = Array.make entries { v_addr = 0; i_addr = 0 };
+    top = 0;
+    depth = 0;
+    pushes = 0;
+    pops = 0;
+    hits = 0;
+  }
+
+let clear t =
+  t.top <- 0;
+  t.depth <- 0
+
+let push t ~v_addr ~i_addr =
+  t.pushes <- t.pushes + 1;
+  t.buf.(t.top) <- { v_addr; i_addr };
+  t.top <- (t.top + 1) mod Array.length t.buf;
+  t.depth <- min (t.depth + 1) (Array.length t.buf)
+
+(* Pop and verify against the actual V-ISA return address held in the return
+   register. Returns [Some i_addr] when the prediction verifies (the common
+   case), [None] when the stack was empty or the pair is stale. *)
+let pop_verify t ~v_actual =
+  t.pops <- t.pops + 1;
+  if t.depth = 0 then None
+  else begin
+    t.top <- (t.top + Array.length t.buf - 1) mod Array.length t.buf;
+    t.depth <- t.depth - 1;
+    let e = t.buf.(t.top) in
+    if e.v_addr = v_actual then begin
+      t.hits <- t.hits + 1;
+      Some e.i_addr
+    end
+    else None
+  end
+
+let hit_rate t =
+  if t.pops = 0 then 1.0 else float_of_int t.hits /. float_of_int t.pops

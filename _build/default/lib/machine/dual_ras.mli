@@ -1,0 +1,34 @@
+(** Dual-address return address stack — the paper's proposed co-designed VM
+    hardware feature (Section 3.2).
+
+    Each entry pairs a V-ISA (source) return address with the I-ISA
+    (translated-code) address at which execution should resume. A
+    push-dual-RAS instruction pushes the pair; a dual-RAS return pops it,
+    verifies the V-address against the architected return register, and on
+    a match jumps straight to the popped I-address. *)
+
+type entry = { v_addr : int; i_addr : int }
+
+type t = {
+  buf : entry array;
+  mutable top : int;
+  mutable depth : int;
+  mutable pushes : int;
+  mutable pops : int;
+  mutable hits : int;
+}
+
+val create : ?entries:int -> unit -> t
+(** 8 entries by default (Table 1). *)
+
+val clear : t -> unit
+
+val push : t -> v_addr:int -> i_addr:int -> unit
+(** Push a pair; beyond capacity the oldest entry is overwritten. *)
+
+val pop_verify : t -> v_actual:int -> int option
+(** Pop and verify against the actual V-ISA return address. [Some i_addr]
+    when the prediction verifies; [None] when the stack was empty or the
+    pair is stale. *)
+
+val hit_rate : t -> float

@@ -1,0 +1,20 @@
+(** G-share conditional-branch direction predictor (Table 1: 16K entries of
+    2-bit saturating counters, 12-bit global history). *)
+
+type t = {
+  table : Bytes.t;
+  mask : int;
+  hist_bits : int;
+  mutable hist : int;
+  mutable lookups : int;
+  mutable mispredicts : int;
+}
+
+val create : ?entries:int -> ?hist_bits:int -> unit -> t
+
+val predict : t -> int -> bool
+(** Predicted direction for the branch at a PC, with no state change. *)
+
+val predict_update : t -> int -> taken:bool -> bool
+(** Predict, then train with the outcome (counter + global history).
+    Returns [true] when the prediction matched [taken]. *)

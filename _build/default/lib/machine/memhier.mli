@@ -1,0 +1,33 @@
+(** Data-side memory-hierarchy timing: L1 D-cache(s) → L2 → memory, with
+    Table 1 latencies. The ILDP machine replicates the L1 per processing
+    element; stores broadcast to all replicas. *)
+
+type cfg = {
+  l1_size : int;
+  l1_ways : int;
+  l1_line : int;
+  l1_lat : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_line : int;
+  l2_lat : int;
+  mem_lat : int;
+}
+
+val default_cfg : cfg
+(** 32KB 4-way 64B L1 (2 cycles), 1MB 4-way 128B L2 (8), memory (72). *)
+
+val small_l1 : cfg -> cfg
+(** The 8KB 2-way replicated-L1 alternative of Table 1. *)
+
+type t = { cfg : cfg; l1s : Cache.t array; l2 : Cache.t }
+
+val create : ?replicas:int -> cfg -> t
+val replicas : t -> int
+
+val load : t -> pe:int -> int -> int
+(** Latency of a load issued from replica [pe]. *)
+
+val store : t -> int -> int
+(** Store: updates every replica (write-allocate broadcast); returns the L1
+    access time (store latency hides behind the store buffer). *)

@@ -1,0 +1,47 @@
+(** Sparse little-endian byte-addressable memory with explicit mapping.
+
+    The simulated machine's physical memory, backed by 64 KiB chunks that
+    must be explicitly {!map}ped before use. Accessing an unmapped chunk
+    raises {!Fault}, which the Alpha interpreter and the DBT runtime turn
+    into a precise memory trap. *)
+
+exception Fault of int
+(** [Fault addr] is raised on any access to an unmapped address. *)
+
+type t = {
+  chunks : (int, Bytes.t) Hashtbl.t;
+  mutable reads : int;  (** access accounting, used by tests *)
+  mutable writes : int;
+}
+
+val create : unit -> t
+
+val copy : t -> t
+(** Deep copy (used by tests to snapshot a memory image). *)
+
+val map : t -> addr:int -> len:int -> unit
+(** Map every chunk overlapping [addr, addr+len). Freshly mapped chunks are
+    zero-filled; remapping is a no-op. *)
+
+val is_mapped : t -> int -> bool
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+(** Little-endian accessors of each width. Multi-byte accesses may straddle
+    chunk boundaries. All raise {!Fault} on unmapped addresses. *)
+
+val fill_zero : t -> addr:int -> len:int -> unit
+(** Zero a mapped range (used when the VM flushes its dispatch table). *)
+
+val blit_string : t -> addr:int -> string -> unit
+(** Bulk write, used by the program loader. *)
+
+val checksum : t -> addr:int -> len:int -> int64
+(** FNV-1a hash over a range (unmapped bytes read as zero); used by tests
+    to compare final memory images between execution modes. *)

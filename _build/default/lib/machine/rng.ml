@@ -1,0 +1,25 @@
+(* Deterministic splitmix64 PRNG.
+
+   Simulation components that need randomness (random cache replacement,
+   workload input generation) use this instead of [Random] so that every
+   experiment is exactly reproducible run-to-run. *)
+
+type t = { mutable s : int64 }
+
+let create seed = { s = Int64.of_int seed }
+
+let next t =
+  t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+  let z = t.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform integer in [0, bound). *)
+let int t bound =
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let i64 t = next t

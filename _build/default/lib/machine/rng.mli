@@ -1,0 +1,15 @@
+(** Deterministic splitmix64 PRNG.
+
+    Simulation components needing randomness (random cache replacement,
+    workload generation, differential-test programs) use this instead of
+    [Random] so every experiment is exactly reproducible. *)
+
+type t = { mutable s : int64 }
+
+val create : int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** Uniform integer in [0, bound). *)
+
+val bool : t -> bool
+val i64 : t -> int64

@@ -1,0 +1,19 @@
+(** Minimal growable array (OCaml 5.1 predates stdlib [Dynarray]).
+
+    Backs the translation cache's code and metadata arrays, which grow
+    monotonically as fragments are installed and support in-place
+    patching. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val clear : 'a t -> unit
+(** Reset to length zero (capacity retained). *)
+
+val push : 'a t -> 'a -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b

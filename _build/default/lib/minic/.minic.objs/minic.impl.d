@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Alpha Ast Codegen Lexer Parser Printf Runtime

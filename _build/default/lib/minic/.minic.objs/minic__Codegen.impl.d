@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Alpha Array Ast Buffer Hashtbl Int64 List Option Printf Runtime String

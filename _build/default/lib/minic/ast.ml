@@ -1,0 +1,50 @@
+(* MiniC abstract syntax.
+
+   A small C-like language, rich enough to author the SPEC-INT-analogue
+   workloads the way the paper's workloads were authored in C: 64-bit
+   integer scalars, global int/byte arrays, functions with up to six
+   arguments, control flow including [switch] (compiled to a jump table,
+   i.e. register-indirect jumps) and function-pointer tables (indirect
+   calls). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor (* short-circuit *)
+
+type unop = Neg | Not (* logical *) | Bnot (* bitwise *)
+
+type expr =
+  | Int of int64
+  | Var of string
+  | Index of string * expr (* array element *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+  | Call_indirect of string * expr * expr list (* table[idx](args) *)
+
+type stmt =
+  | Decl of string * expr option (* int x = e; *)
+  | Assign of string * expr
+  | Store of string * expr * expr (* a[i] = e; *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Switch of expr * (int64 * stmt list) list * stmt list (* cases, default *)
+  | Return of expr
+  | Expr of expr
+  | Print of expr (* decimal + newline, PAL putint *)
+  | Putc of expr
+  | Break
+  | Continue
+
+type global =
+  | Gscalar of string * int64 (* int g = k; *)
+  | Garray of string * int * int64 list (* int a[n] = {...}; *)
+  | Gbytes of string * int * string option (* byte b[n]; optional init *)
+  | Gfuncs of string * string list (* func tab[] = { f, g, ... }; *)
+
+type func = { name : string; params : string list; body : stmt list }
+
+type program = { globals : global list; funcs : func list }

@@ -1,0 +1,588 @@
+(* MiniC -> Alpha assembly code generator.
+
+   Conventions (OSF-flavoured):
+   - arguments in a0..a5, result in v0, RA in ra;
+   - scalar locals live in callee-saved s0..s5, overflowing to stack slots;
+   - expression evaluation uses the caller-saved temporaries t0..t11 as a
+     register stack (an expression deeper than 12 is rejected — no workload
+     comes close);
+   - AT and GP are never touched: the code-straightening DBT borrows them;
+   - [switch] with >= 3 cases compiles to a jump table (register-indirect
+     jump), function tables to indirect calls via PV — the workloads'
+     source of JMP/JSR traffic;
+   - [/] and [%] call the runtime divide (Alpha has no divide instruction).
+
+   Frame layout (fixed size per function):
+     0        saved ra
+     8..48    saved s0..s5
+     56..183  stack-resident locals (16)
+     184..279 expression spills across calls (12)
+   *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let temps = Alpha.Reg.temps (* 12 caller-saved temporaries *)
+let n_temps = Array.length temps
+let saved = Alpha.Reg.saved (* s0..s5 *)
+let frame_size = 288
+let local_stack_base = 56
+let max_stack_locals = 16
+let spill_base = 184
+
+type gkind = K_scalar | K_iarray | K_barray | K_functab
+
+type loc = L_reg of int | L_stack of int (* frame offset *)
+
+type ctx = {
+  out : Buffer.t;
+  globals : (string, gkind) Hashtbl.t;
+  func_names : (string, int) Hashtbl.t; (* name -> arity *)
+  mutable label : int;
+}
+
+type fctx = {
+  c : ctx;
+  env : (string, loc) Hashtbl.t;
+  mutable n_sregs : int;
+  mutable n_stack : int;
+  ret_label : string;
+  mutable breaks : string list;
+  mutable continues : string list;
+}
+
+let emit c fmt = Printf.ksprintf (fun s -> Buffer.add_string c.out ("  " ^ s ^ "\n")) fmt
+let label c fmt = Printf.ksprintf (fun s -> Buffer.add_string c.out (s ^ ":\n")) fmt
+
+let fresh c prefix =
+  c.label <- c.label + 1;
+  Printf.sprintf "__%s_%d" prefix c.label
+
+let reg_name = Alpha.Reg.to_string
+
+(* temp register for evaluation-stack depth [d] *)
+let treg d =
+  if d >= n_temps then fail "expression too deep (needs %d temporaries)" (d + 1)
+  else temps.(d)
+
+let declare f name =
+  if Hashtbl.mem f.env name then fail "duplicate local %S" name;
+  let loc =
+    if f.n_sregs < Array.length saved then begin
+      let r = saved.(f.n_sregs) in
+      f.n_sregs <- f.n_sregs + 1;
+      L_reg r
+    end
+    else if f.n_stack < max_stack_locals then begin
+      let off = local_stack_base + (8 * f.n_stack) in
+      f.n_stack <- f.n_stack + 1;
+      L_stack off
+    end
+    else fail "too many locals in function"
+  in
+  Hashtbl.replace f.env name loc;
+  loc
+
+let lookup f name =
+  match Hashtbl.find_opt f.env name with
+  | Some l -> Some l
+  | None -> None
+
+(* ---------- expressions ----------
+
+   [gen_expr f d e] leaves the value in [treg d].
+
+   [operand f d ~allow_imm e] returns an operand string for [e] without
+   copying register-resident locals into temporaries: a local in a
+   callee-saved register is named directly (safe: expression evaluation
+   never writes locals, and calls preserve both callee-saved registers and
+   the live temporaries below them), and a small constant becomes an Alpha
+   literal when the position allows one. Anything else evaluates into
+   [treg d]. This is what keeps the generated code close to what a real
+   compiler would emit. *)
+
+let rec operand f d ~allow_imm (e : Ast.expr) : string =
+  match e with
+  | Ast.Var x -> (
+    match lookup f x with
+    | Some (L_reg r) -> reg_name r
+    | _ ->
+      gen_expr f d e;
+      reg_name (treg d))
+  | Ast.Int v when allow_imm && Int64.compare v 0L >= 0 && Int64.compare v 255L <= 0
+    ->
+    Int64.to_string v
+  | _ ->
+    gen_expr f d e;
+    reg_name (treg d)
+
+and gen_expr f d (e : Ast.expr) =
+  let c = f.c in
+  let rd = reg_name (treg d) in
+  match e with
+  | Int v -> emit c "ldiq %s, %Ld" rd v
+  | Var x -> (
+    match lookup f x with
+    | Some (L_reg r) -> emit c "mov %s, %s" (reg_name r) rd
+    | Some (L_stack off) -> emit c "ldq %s, %d(sp)" rd off
+    | None -> (
+      match Hashtbl.find_opt c.globals x with
+      | Some K_scalar ->
+        emit c "la %s, %s" rd x;
+        emit c "ldq %s, 0(%s)" rd rd
+      | Some (K_iarray | K_barray | K_functab) ->
+        (* array name used as a value: its base address *)
+        emit c "la %s, %s" rd x
+      | None -> fail "undefined variable %S" x))
+  | Index (x, i) -> (
+    let ri = operand f d ~allow_imm:false i in
+    let ra = reg_name (treg (d + 1)) in
+    match Hashtbl.find_opt c.globals x with
+    | Some (K_iarray | K_functab) ->
+      emit c "la %s, %s" ra x;
+      emit c "s8addq %s, %s, %s" ri ra rd;
+      emit c "ldq %s, 0(%s)" rd rd
+    | Some K_barray ->
+      emit c "la %s, %s" ra x;
+      emit c "addq %s, %s, %s" ri ra rd;
+      emit c "ldbu %s, 0(%s)" rd rd
+    | Some K_scalar -> fail "%S is not an array" x
+    | None -> fail "undefined array %S" x)
+  | Un (Neg, e) ->
+    gen_expr f d e;
+    emit c "subq zero, %s, %s" rd rd
+  | Un (Not, e) ->
+    gen_expr f d e;
+    emit c "cmpeq %s, 0, %s" rd rd
+  | Un (Bnot, e) ->
+    gen_expr f d e;
+    emit c "ornot zero, %s, %s" rd rd
+  | Bin (Land, a, b) ->
+    let lf = fresh c "andf" and le = fresh c "ande" in
+    gen_expr f d a;
+    emit c "beq %s, %s" rd lf;
+    gen_expr f d b;
+    emit c "cmpeq %s, 0, %s" rd rd;
+    emit c "xor %s, 1, %s" rd rd;
+    emit c "br %s" le;
+    label c "%s" lf;
+    emit c "clr %s" rd;
+    label c "%s" le
+  | Bin (Lor, a, b) ->
+    let lt = fresh c "ort" and le = fresh c "ore" in
+    gen_expr f d a;
+    emit c "bne %s, %s" rd lt;
+    gen_expr f d b;
+    emit c "cmpeq %s, 0, %s" rd rd;
+    emit c "xor %s, 1, %s" rd rd;
+    emit c "br %s" le;
+    label c "%s" lt;
+    emit c "ldiq %s, 1" rd;
+    label c "%s" le
+  | Bin ((Div | Mod) as op, a, b) ->
+    gen_expr f d a;
+    gen_expr f (d + 1) b;
+    gen_runtime_call f d (if op = Div then "__divq" else "__remq")
+  | Bin (op, a, b) -> gen_binop f d rd op a b
+  | Call ("sel", [ cond; a; b ]) ->
+    (* builtin conditional select: sel(c, a, b) = c ? a : b, compiled to a
+       conditional move (CMOVNE) — the workloads' source of CMOV traffic *)
+    gen_expr f d cond;
+    gen_expr f (d + 1) a;
+    gen_expr f (d + 2) b;
+    emit c "cmovne %s, %s, %s" rd (reg_name (treg (d + 1))) (reg_name (treg (d + 2)));
+    emit c "mov %s, %s" (reg_name (treg (d + 2))) rd
+  | Call ("sel", _) -> fail "sel expects exactly 3 arguments"
+  | Call (name, args) ->
+    (match Hashtbl.find_opt c.func_names name with
+    | Some arity when arity <> List.length args ->
+      fail "%S expects %d arguments" name arity
+    | Some _ -> ()
+    | None -> fail "undefined function %S" name);
+    gen_call f d ~args ~invoke:(fun () -> emit c "bsr ra, %s" name)
+  | Call_indirect (table, idx, args) ->
+    (match Hashtbl.find_opt c.globals table with
+    | Some K_functab -> ()
+    | _ -> fail "%S is not a function table" table);
+    (* the table address/index are evaluated as an extra hidden argument *)
+    gen_expr f d idx;
+    let rt = reg_name (treg (d + 1)) in
+    emit c "la %s, %s" rt table;
+    emit c "s8addq %s, %s, %s" rd rt rd;
+    emit c "ldq %s, 0(%s)" rd rd;
+    (* rd now holds the function address; treat it as a saved value *)
+    gen_call f (d + 1) ~args ~invoke:(fun () ->
+        emit c "mov %s, pv" rd;
+        emit c "jsr ra, (pv)");
+    emit c "mov %s, %s" (reg_name (treg (d + 1))) rd
+
+(* simple (non-short-circuit, non-divide) binary operator, result into the
+   register named [rd] *)
+and gen_binop f d rd (op : Ast.binop) a b =
+  let c = f.c in
+  let ra = operand f d ~allow_imm:false a in
+  (* [b] may evaluate into treg (d+1) — never clobbers [ra], which is
+     either a callee-saved local or treg d *)
+  let simple ?(imm_ok = true) mnem =
+    let rb = operand f (d + 1) ~allow_imm:imm_ok b in
+    emit c "%s %s, %s, %s" mnem ra rb rd
+  in
+  match op with
+  | Add -> simple "addq"
+  | Sub -> simple "subq"
+  | Mul -> simple "mulq"
+  | And -> simple "and"
+  | Or -> simple "bis"
+  | Xor -> simple "xor"
+  | Shl -> simple "sll"
+  | Shr -> simple "sra"
+  | Eq -> simple "cmpeq"
+  | Ne ->
+    simple "cmpeq";
+    emit c "xor %s, 1, %s" rd rd
+  | Lt -> simple "cmplt"
+  | Le -> simple "cmple"
+  | Gt ->
+    (* swapped operand order: the literal position moves to the left, so
+       force a register *)
+    let rb = operand f (d + 1) ~allow_imm:false b in
+    emit c "cmplt %s, %s, %s" rb ra rd
+  | Ge ->
+    let rb = operand f (d + 1) ~allow_imm:false b in
+    emit c "cmple %s, %s, %s" rb ra rd
+  | Div | Mod | Land | Lor -> assert false
+
+(* function call with arguments evaluated at depths d.. and live
+   temporaries below [d] saved across the call *)
+and gen_call f d ~args ~invoke =
+  let c = f.c in
+  if List.length args > 6 then fail "at most 6 arguments";
+  List.iteri (fun i a -> gen_expr f (d + i) a) args;
+  (* save live evaluation temporaries t0..t(d-1) *)
+  for k = 0 to d - 1 do
+    emit c "stq %s, %d(sp)" (reg_name (treg k)) (spill_base + (8 * k))
+  done;
+  List.iteri
+    (fun i _ -> emit c "mov %s, %s" (reg_name (treg (d + i))) (reg_name (Alpha.Reg.arg i)))
+    args;
+  invoke ();
+  emit c "mov v0, %s" (reg_name (treg d));
+  for k = 0 to d - 1 do
+    emit c "ldq %s, %d(sp)" (reg_name (treg k)) (spill_base + (8 * k))
+  done
+
+and gen_runtime_call f d name =
+  (* binary runtime helper: operands already at depths d, d+1 *)
+  let c = f.c in
+  for k = 0 to d - 1 do
+    emit c "stq %s, %d(sp)" (reg_name (treg k)) (spill_base + (8 * k))
+  done;
+  emit c "mov %s, a0" (reg_name (treg d));
+  emit c "mov %s, a1" (reg_name (treg (d + 1)));
+  emit c "bsr ra, %s" name;
+  emit c "mov v0, %s" (reg_name (treg d));
+  for k = 0 to d - 1 do
+    emit c "ldq %s, %d(sp)" (reg_name (treg k)) (spill_base + (8 * k))
+  done
+
+(* ---------- statements ---------- *)
+
+let rec gen_stmt f (s : Ast.stmt) =
+  let c = f.c in
+  match s with
+  | Decl (x, init) -> (
+    let loc = declare f x in
+    match init with
+    | None -> (
+      match loc with
+      | L_reg r -> emit c "clr %s" (reg_name r)
+      | L_stack off -> emit c "stq zero, %d(sp)" off)
+    | Some e -> (
+      gen_expr f 0 e;
+      match loc with
+      | L_reg r -> emit c "mov %s, %s" (reg_name (treg 0)) (reg_name r)
+      | L_stack off -> emit c "stq %s, %d(sp)" (reg_name (treg 0)) off))
+  | Assign (x, e) -> (
+    match lookup f x with
+    | Some (L_reg r) -> (
+      (* evaluate straight into the local's register where possible *)
+      match e with
+      | Ast.Int v -> emit c "ldiq %s, %Ld" (reg_name r) v
+      | Ast.Var y when lookup f y <> None -> (
+        match lookup f y with
+        | Some (L_reg ry) -> emit c "mov %s, %s" (reg_name ry) (reg_name r)
+        | Some (L_stack off) -> emit c "ldq %s, %d(sp)" (reg_name r) off
+        | None -> assert false)
+      | Ast.Bin (((Div | Mod | Land | Lor) as _op), _, _) ->
+        gen_expr f 0 e;
+        emit c "mov %s, %s" (reg_name (treg 0)) (reg_name r)
+      | Ast.Bin (op, a, b) -> gen_binop f 0 (reg_name r) op a b
+      | _ ->
+        gen_expr f 0 e;
+        emit c "mov %s, %s" (reg_name (treg 0)) (reg_name r))
+    | Some (L_stack off) ->
+      gen_expr f 0 e;
+      emit c "stq %s, %d(sp)" (reg_name (treg 0)) off
+    | None -> (
+      match Hashtbl.find_opt c.globals x with
+      | Some K_scalar ->
+        gen_expr f 0 e;
+        emit c "la %s, %s" (reg_name (treg 1)) x;
+        emit c "stq %s, 0(%s)" (reg_name (treg 0)) (reg_name (treg 1))
+      | _ -> fail "undefined variable %S" x))
+  | Store (x, i, e) -> (
+    let ri = operand f 0 ~allow_imm:false i in
+    let rv = operand f 1 ~allow_imm:false e in
+    let ra = reg_name (treg 2) in
+    match Hashtbl.find_opt c.globals x with
+    | Some K_iarray ->
+      emit c "la %s, %s" ra x;
+      emit c "s8addq %s, %s, %s" ri ra ra;
+      emit c "stq %s, 0(%s)" rv ra
+    | Some K_barray ->
+      emit c "la %s, %s" ra x;
+      emit c "addq %s, %s, %s" ri ra ra;
+      emit c "stb %s, 0(%s)" rv ra
+    | _ -> fail "undefined array %S" x)
+  | If (cond, th, el) ->
+    let lelse = fresh c "else" and lend = fresh c "endif" in
+    gen_expr f 0 cond;
+    emit c "beq %s, %s" (reg_name (treg 0)) (if el = [] then lend else lelse);
+    List.iter (gen_stmt f) th;
+    if el <> [] then begin
+      emit c "br %s" lend;
+      label c "%s" lelse;
+      List.iter (gen_stmt f) el
+    end;
+    label c "%s" lend
+  | While (cond, body) ->
+    (* bottom-test loop: one backward conditional branch per iteration,
+       the shape optimising compilers emit *)
+    let ltest = fresh c "wtest" and lbody = fresh c "wbody" and lend = fresh c "wend" in
+    f.breaks <- lend :: f.breaks;
+    f.continues <- ltest :: f.continues;
+    emit c "br %s" ltest;
+    label c "%s" lbody;
+    List.iter (gen_stmt f) body;
+    label c "%s" ltest;
+    gen_expr f 0 cond;
+    emit c "bne %s, %s" (reg_name (treg 0)) lbody;
+    label c "%s" lend;
+    f.breaks <- List.tl f.breaks;
+    f.continues <- List.tl f.continues
+  | For (init, cond, step, body) ->
+    let lbody = fresh c "fbody" and lstep = fresh c "fstep" and ltest = fresh c "ftest" in
+    let lend = fresh c "fend" in
+    Option.iter (gen_stmt f) init;
+    f.breaks <- lend :: f.breaks;
+    f.continues <- lstep :: f.continues;
+    emit c "br %s" ltest;
+    label c "%s" lbody;
+    List.iter (gen_stmt f) body;
+    label c "%s" lstep;
+    Option.iter (gen_stmt f) step;
+    label c "%s" ltest;
+    (match cond with
+    | Some e ->
+      gen_expr f 0 e;
+      emit c "bne %s, %s" (reg_name (treg 0)) lbody
+    | None -> emit c "br %s" lbody);
+    label c "%s" lend;
+    f.breaks <- List.tl f.breaks;
+    f.continues <- List.tl f.continues
+  | Switch (e, cases, default) -> gen_switch f e cases default
+  | Return e ->
+    gen_expr f 0 e;
+    emit c "mov %s, v0" (reg_name (treg 0));
+    emit c "br %s" f.ret_label
+  | Expr e -> gen_expr f 0 e
+  | Print e ->
+    gen_expr f 0 e;
+    emit c "mov %s, a0" (reg_name (treg 0));
+    emit c "call_pal 2"
+  | Putc e ->
+    gen_expr f 0 e;
+    emit c "mov %s, a0" (reg_name (treg 0));
+    emit c "call_pal 1"
+  | Break -> (
+    match f.breaks with
+    | l :: _ -> emit c "br %s" l
+    | [] -> fail "break outside loop")
+  | Continue -> (
+    match f.continues with
+    | l :: _ -> emit c "br %s" l
+    | [] -> fail "continue outside loop")
+
+and gen_switch f e cases default =
+  let c = f.c in
+  if cases = [] then List.iter (gen_stmt f) default
+  else begin
+    let vals = List.map fst cases in
+    let lo = List.fold_left min (List.hd vals) vals in
+    let hi = List.fold_left max (List.hd vals) vals in
+    let span = Int64.to_int (Int64.sub hi lo) + 1 in
+    let dense = span <= (4 * List.length cases) + 4 && span <= 512 in
+    let lend = fresh c "swend" and ldef = fresh c "swdef" in
+    gen_expr f 0 e;
+    let rv = reg_name (treg 0) in
+    if dense && List.length cases >= 3 then begin
+      (* jump table: the workloads' source of register-indirect jumps *)
+      let tname = fresh c "swtab" in
+      let case_labels = List.map (fun (v, _) -> (v, fresh c "case")) cases in
+      let rt = reg_name (treg 1) in
+      if not (Int64.equal lo 0L) then
+        if Int64.compare lo 0L > 0 && Int64.compare lo 255L <= 0 then
+          emit c "subq %s, %Ld, %s" rv lo rv
+        else begin
+          emit c "ldiq %s, %Ld" rt lo;
+          emit c "subq %s, %s, %s" rv rt rv
+        end;
+      if span <= 255 then emit c "cmpult %s, %d, %s" rv span rt
+      else begin
+        emit c "ldiq %s, %d" rt span;
+        emit c "cmpult %s, %s, %s" rv rt rt
+      end;
+      emit c "beq %s, %s" rt ldef;
+      emit c "la %s, %s" rt tname;
+      emit c "s8addq %s, %s, %s" rv rt rv;
+      emit c "ldq %s, 0(%s)" rv rv;
+      emit c "jmp (%s)" rv;
+      List.iter
+        (fun (v, body) ->
+          label c "%s" (List.assoc v case_labels);
+          List.iter (gen_stmt f) body;
+          emit c "br %s" lend)
+        cases;
+      label c "%s" ldef;
+      List.iter (gen_stmt f) default;
+      label c "%s" lend;
+      (* the table itself *)
+      Buffer.add_string c.out "  .data\n  .align 8\n";
+      label c "%s" tname;
+      for i = 0 to span - 1 do
+        let v = Int64.add lo (Int64.of_int i) in
+        let target =
+          match List.assoc_opt v case_labels with Some l -> l | None -> ldef
+        in
+        Buffer.add_string c.out (Printf.sprintf "  .quad %s\n" target)
+      done;
+      Buffer.add_string c.out "  .text\n"
+    end
+    else begin
+      (* sparse: compare-and-branch chain *)
+      let rt = reg_name (treg 1) in
+      let labelled = List.map (fun (v, body) -> (v, body, fresh c "scase")) cases in
+      List.iter
+        (fun (v, _, l) ->
+          emit c "ldiq %s, %Ld" rt v;
+          emit c "cmpeq %s, %s, %s" rv rt rt;
+          emit c "bne %s, %s" rt l)
+        labelled;
+      emit c "br %s" ldef;
+      List.iter
+        (fun (_, body, l) ->
+          label c "%s" l;
+          List.iter (gen_stmt f) body;
+          emit c "br %s" lend)
+        labelled;
+      label c "%s" ldef;
+      List.iter (gen_stmt f) default;
+      label c "%s" lend
+    end
+  end
+
+(* ---------- toplevel ---------- *)
+
+let gen_func c (fn : Ast.func) =
+  let f =
+    {
+      c;
+      env = Hashtbl.create 16;
+      n_sregs = 0;
+      n_stack = 0;
+      ret_label = Printf.sprintf "__%s_ret" fn.name;
+      breaks = [];
+      continues = [];
+    }
+  in
+  label c "%s" fn.name;
+  emit c "lda sp, -%d(sp)" frame_size;
+  emit c "stq ra, 0(sp)";
+  Array.iteri (fun i r -> emit c "stq %s, %d(sp)" (reg_name r) (8 + (8 * i))) saved;
+  List.iteri
+    (fun i p ->
+      match declare f p with
+      | L_reg r -> emit c "mov %s, %s" (reg_name (Alpha.Reg.arg i)) (reg_name r)
+      | L_stack off -> emit c "stq %s, %d(sp)" (reg_name (Alpha.Reg.arg i)) off)
+    fn.params;
+  List.iter (gen_stmt f) fn.body;
+  emit c "clr v0" (* fall-off-the-end returns 0 *);
+  label c "%s" f.ret_label;
+  emit c "ldq ra, 0(sp)";
+  Array.iteri (fun i r -> emit c "ldq %s, %d(sp)" (reg_name r) (8 + (8 * i))) saved;
+  emit c "lda sp, %d(sp)" frame_size;
+  emit c "ret"
+
+let gen_globals c (globals : Ast.global list) =
+  Buffer.add_string c.out "  .data\n  .align 8\n";
+  List.iter
+    (fun (g : Ast.global) ->
+      match g with
+      | Gscalar (name, v) ->
+        label c "%s" name;
+        Buffer.add_string c.out (Printf.sprintf "  .quad %Ld\n" v)
+      | Garray (name, n, init) ->
+        label c "%s" name;
+        List.iter
+          (fun v -> Buffer.add_string c.out (Printf.sprintf "  .quad %Ld\n" v))
+          init;
+        let rest = n - List.length init in
+        if rest < 0 then fail "too many initialisers for %S" name;
+        if rest > 0 then Buffer.add_string c.out (Printf.sprintf "  .space %d\n" (8 * rest))
+      | Gbytes (name, n, init) ->
+        Buffer.add_string c.out "  .align 8\n";
+        label c "%s" name;
+        (match init with
+        | Some s ->
+          Buffer.add_string c.out (Printf.sprintf "  .ascii %S\n" s);
+          if n > String.length s then
+            Buffer.add_string c.out (Printf.sprintf "  .space %d\n" (n - String.length s))
+        | None -> Buffer.add_string c.out (Printf.sprintf "  .space %d\n" n))
+      | Gfuncs (name, fs) ->
+        label c "%s" name;
+        List.iter
+          (fun fname -> Buffer.add_string c.out (Printf.sprintf "  .quad %s\n" fname))
+          fs)
+    globals
+
+(* Compile a parsed program to Alpha assembly source. *)
+let compile (p : Ast.program) : string =
+  let c =
+    { out = Buffer.create 4096; globals = Hashtbl.create 32;
+      func_names = Hashtbl.create 32; label = 0 }
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      let name, kind =
+        match g with
+        | Gscalar (n, _) -> (n, K_scalar)
+        | Garray (n, _, _) -> (n, K_iarray)
+        | Gbytes (n, _, _) -> (n, K_barray)
+        | Gfuncs (n, _) -> (n, K_functab)
+      in
+      if Hashtbl.mem c.globals name then fail "duplicate global %S" name;
+      Hashtbl.replace c.globals name kind)
+    p.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem c.func_names f.name then fail "duplicate function %S" f.name;
+      Hashtbl.replace c.func_names f.name (List.length f.params))
+    p.funcs;
+  if not (Hashtbl.mem c.func_names "main") then fail "missing function main";
+  Buffer.add_string c.out Runtime.startup;
+  Buffer.add_string c.out "  .text\n";
+  List.iter (gen_func c) p.funcs;
+  Buffer.add_string c.out Runtime.divide;
+  gen_globals c p.globals;
+  Buffer.contents c.out

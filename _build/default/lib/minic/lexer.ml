@@ -1,0 +1,164 @@
+(* MiniC lexer: hand-written, positions tracked for error messages. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | STR of string
+  | KW of string (* int byte func if else while for switch case default
+                    break continue return print putc *)
+  | PUNCT of string (* ( ) { } [ ] ; , : = == != <= >= < > + - * / % & | ^
+                       << >> && || ! ~ *)
+  | EOF
+
+exception Error of { line : int; msg : string }
+
+let keywords =
+  [ "int"; "byte"; "func"; "if"; "else"; "while"; "for"; "switch"; "case";
+    "default"; "break"; "continue"; "return"; "print"; "putc" ]
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+let create src = { src; pos = 0; line = 1 }
+
+let fail t fmt =
+  Printf.ksprintf (fun msg -> raise (Error { line = t.line; msg })) fmt
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r') ->
+    t.pos <- t.pos + 1;
+    skip_ws t
+  | Some '\n' ->
+    t.pos <- t.pos + 1;
+    t.line <- t.line + 1;
+    skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+    while t.pos < String.length t.src && t.src.[t.pos] <> '\n' do
+      t.pos <- t.pos + 1
+    done;
+    skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+    t.pos <- t.pos + 2;
+    let rec go () =
+      if t.pos + 1 >= String.length t.src then fail t "unterminated comment"
+      else if t.src.[t.pos] = '*' && t.src.[t.pos + 1] = '/' then t.pos <- t.pos + 2
+      else begin
+        if t.src.[t.pos] = '\n' then t.line <- t.line + 1;
+        t.pos <- t.pos + 1;
+        go ()
+      end
+    in
+    go ();
+    skip_ws t
+  | _ -> ()
+
+(* Longest-match punctuation. *)
+let puncts2 = [ "=="; "!="; "<="; ">="; "<<"; ">>"; "&&"; "||" ]
+let puncts1 = "(){}[];,:=<>+-*/%&|^!~"
+
+let next t : token * int =
+  skip_ws t;
+  let line = t.line in
+  if t.pos >= String.length t.src then (EOF, line)
+  else begin
+    let c = t.src.[t.pos] in
+    if is_digit c then begin
+      let start = t.pos in
+      if
+        c = '0'
+        && t.pos + 1 < String.length t.src
+        && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X')
+      then begin
+        t.pos <- t.pos + 2;
+        while
+          t.pos < String.length t.src
+          && (is_digit t.src.[t.pos]
+             || (Char.lowercase_ascii t.src.[t.pos] >= 'a'
+                && Char.lowercase_ascii t.src.[t.pos] <= 'f'))
+        do
+          t.pos <- t.pos + 1
+        done
+      end
+      else
+        while t.pos < String.length t.src && is_digit t.src.[t.pos] do
+          t.pos <- t.pos + 1
+        done;
+      match Int64.of_string_opt (String.sub t.src start (t.pos - start)) with
+      | Some v -> (INT v, line)
+      | None -> fail t "bad integer literal"
+    end
+    else if is_id_start c then begin
+      let start = t.pos in
+      while t.pos < String.length t.src && is_id t.src.[t.pos] do
+        t.pos <- t.pos + 1
+      done;
+      let s = String.sub t.src start (t.pos - start) in
+      if List.mem s keywords then (KW s, line) else (IDENT s, line)
+    end
+    else if c = '\'' then begin
+      if t.pos + 2 >= String.length t.src then fail t "bad char literal";
+      let ch, len =
+        if t.src.[t.pos + 1] = '\\' then
+          ( (match t.src.[t.pos + 2] with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | '0' -> '\000'
+            | c -> c),
+            4 )
+        else (t.src.[t.pos + 1], 3)
+      in
+      if t.src.[t.pos + len - 1] <> '\'' then fail t "bad char literal";
+      t.pos <- t.pos + len;
+      (INT (Int64.of_int (Char.code ch)), line)
+    end
+    else if c = '"' then begin
+      let b = Buffer.create 16 in
+      t.pos <- t.pos + 1;
+      while t.pos < String.length t.src && t.src.[t.pos] <> '"' do
+        if t.src.[t.pos] = '\\' && t.pos + 1 < String.length t.src then begin
+          (match t.src.[t.pos + 1] with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | c -> Buffer.add_char b c);
+          t.pos <- t.pos + 2
+        end
+        else begin
+          Buffer.add_char b t.src.[t.pos];
+          t.pos <- t.pos + 1
+        end
+      done;
+      if t.pos >= String.length t.src then fail t "unterminated string";
+      t.pos <- t.pos + 1;
+      (STR (Buffer.contents b), line)
+    end
+    else begin
+      let two =
+        if t.pos + 1 < String.length t.src then String.sub t.src t.pos 2 else ""
+      in
+      if List.mem two puncts2 then begin
+        t.pos <- t.pos + 2;
+        (PUNCT two, line)
+      end
+      else if String.contains puncts1 c then begin
+        t.pos <- t.pos + 1;
+        (PUNCT (String.make 1 c), line)
+      end
+      else fail t "unexpected character %C" c
+    end
+  end
+
+(* Tokenize the whole input. *)
+let tokenize src =
+  let t = create src in
+  let rec go acc =
+    match next t with
+    | EOF, line -> List.rev ((EOF, line) :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []

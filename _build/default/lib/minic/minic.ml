@@ -1,0 +1,28 @@
+(* MiniC driver: source -> Alpha assembly -> assembled program. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Codegen = Codegen
+module Runtime = Runtime
+
+exception Error of string
+
+(* Compile MiniC source text to Alpha assembly. *)
+let to_asm src =
+  try Codegen.compile (Parser.parse src) with
+  | Lexer.Error { line; msg } ->
+    raise (Error (Printf.sprintf "lexing error at line %d: %s" line msg))
+  | Parser.Error { line; msg } ->
+    raise (Error (Printf.sprintf "parse error at line %d: %s" line msg))
+  | Codegen.Error msg -> raise (Error (Printf.sprintf "codegen error: %s" msg))
+
+(* Compile MiniC source text to a loadable Alpha program image. *)
+let compile src =
+  let asm = to_asm src in
+  try Alpha.Assembler.assemble asm with
+  | Alpha.Assembler.Error { line; msg } ->
+    raise
+      (Error
+         (Printf.sprintf
+            "internal: generated assembly rejected at line %d: %s" line msg))

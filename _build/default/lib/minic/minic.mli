@@ -1,0 +1,24 @@
+(** MiniC: the workload-authoring compiler.
+
+    A small C-like language — 64-bit integers, global int/byte arrays,
+    functions (up to six parameters, mutual recursion without forward
+    declarations), [if]/[while]/[for]/[switch] (dense switches compile to
+    jump tables), function-pointer tables, short-circuit logic, a [sel]
+    conditional-move builtin, [print]/[putc] PAL output — compiled to the
+    Alpha subset of {!Alpha.Insn}. Division and modulo call a runtime
+    shift-subtract routine (Alpha has no divide instruction). *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Codegen = Codegen
+module Runtime = Runtime
+
+exception Error of string
+(** Lexing, parsing or code-generation failure, with position/context. *)
+
+val to_asm : string -> string
+(** Compile MiniC source text to Alpha assembly. Raises {!Error}. *)
+
+val compile : string -> Alpha.Program.t
+(** Compile MiniC source text to a loadable program image. Raises {!Error}. *)

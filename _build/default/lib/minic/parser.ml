@@ -1,0 +1,415 @@
+(* MiniC recursive-descent parser with precedence climbing. *)
+
+exception Error of { line : int; msg : string }
+
+type t = { mutable toks : (Lexer.token * int) list }
+
+let fail t fmt =
+  let line = match t.toks with (_, l) :: _ -> l | [] -> 0 in
+  Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+let peek t = match t.toks with (tok, _) :: _ -> tok | [] -> Lexer.EOF
+
+let advance t = match t.toks with _ :: rest -> t.toks <- rest | [] -> ()
+
+let eat t tok =
+  if peek t = tok then advance t
+  else
+    fail t "expected %s"
+      (match tok with
+      | Lexer.PUNCT p -> Printf.sprintf "%S" p
+      | Lexer.KW k -> Printf.sprintf "keyword %S" k
+      | _ -> "token")
+
+let eat_punct t p = eat t (Lexer.PUNCT p)
+
+let ident t =
+  match peek t with
+  | Lexer.IDENT x ->
+    advance t;
+    x
+  | _ -> fail t "expected identifier"
+
+let int_lit t =
+  match peek t with
+  | Lexer.INT v ->
+    advance t;
+    v
+  | Lexer.PUNCT "-" -> (
+    advance t;
+    match peek t with
+    | Lexer.INT v ->
+      advance t;
+      Int64.neg v
+    | _ -> fail t "expected integer")
+  | _ -> fail t "expected integer"
+
+(* precedence: higher binds tighter *)
+let binop_of = function
+  | "||" -> Some (Ast.Lor, 1)
+  | "&&" -> Some (Ast.Land, 2)
+  | "|" -> Some (Ast.Or, 3)
+  | "^" -> Some (Ast.Xor, 4)
+  | "&" -> Some (Ast.And, 5)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Ne, 6)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec expr t = binary t 1
+
+and binary t min_prec =
+  let lhs = ref (unary t) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek t with
+    | Lexer.PUNCT p -> (
+      match binop_of p with
+      | Some (op, prec) when prec >= min_prec ->
+        advance t;
+        let rhs = binary t (prec + 1) in
+        lhs := Ast.Bin (op, !lhs, rhs)
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and unary t =
+  match peek t with
+  | Lexer.PUNCT "-" ->
+    advance t;
+    Ast.Un (Neg, unary t)
+  | Lexer.PUNCT "!" ->
+    advance t;
+    Ast.Un (Not, unary t)
+  | Lexer.PUNCT "~" ->
+    advance t;
+    Ast.Un (Bnot, unary t)
+  | _ -> primary t
+
+and primary t =
+  match peek t with
+  | Lexer.INT v ->
+    advance t;
+    Ast.Int v
+  | Lexer.PUNCT "(" ->
+    advance t;
+    let e = expr t in
+    eat_punct t ")";
+    e
+  | Lexer.IDENT x -> (
+    advance t;
+    match peek t with
+    | Lexer.PUNCT "(" ->
+      advance t;
+      Ast.Call (x, args t)
+    | Lexer.PUNCT "[" -> (
+      advance t;
+      let i = expr t in
+      eat_punct t "]";
+      match peek t with
+      | Lexer.PUNCT "(" ->
+        advance t;
+        Ast.Call_indirect (x, i, args t)
+      | _ -> Ast.Index (x, i))
+    | _ -> Ast.Var x)
+  | _ -> fail t "expected expression"
+
+and args t =
+  if peek t = Lexer.PUNCT ")" then begin
+    advance t;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = expr t in
+      match peek t with
+      | Lexer.PUNCT "," ->
+        advance t;
+        go (e :: acc)
+      | Lexer.PUNCT ")" ->
+        advance t;
+        List.rev (e :: acc)
+      | _ -> fail t "expected ',' or ')'"
+    in
+    go []
+  end
+
+let rec block t =
+  eat_punct t "{";
+  let rec go acc =
+    if peek t = Lexer.PUNCT "}" then begin
+      advance t;
+      List.rev acc
+    end
+    else go (stmt t :: acc)
+  in
+  go []
+
+and simple_stmt t : Ast.stmt =
+  (* assignment / declaration / expression, no trailing ';' *)
+  match (peek t, t.toks) with
+  | Lexer.KW "int", _ ->
+    advance t;
+    let x = ident t in
+    if peek t = Lexer.PUNCT "=" then begin
+      advance t;
+      Ast.Decl (x, Some (expr t))
+    end
+    else Ast.Decl (x, None)
+  | Lexer.IDENT x, _ :: (Lexer.PUNCT "=", _) :: _ ->
+    advance t;
+    advance t;
+    Ast.Assign (x, expr t)
+  | Lexer.IDENT x, _ :: (Lexer.PUNCT "[", _) :: _ -> (
+    advance t;
+    advance t;
+    let i = expr t in
+    eat_punct t "]";
+    match peek t with
+    | Lexer.PUNCT "=" ->
+      advance t;
+      Ast.Store (x, i, expr t)
+    | Lexer.PUNCT "(" ->
+      advance t;
+      Ast.Expr (Ast.Call_indirect (x, i, args t))
+    | _ -> fail t "expected '=' or '(' after index")
+  | _ -> Ast.Expr (expr t)
+
+and stmt t : Ast.stmt =
+  match peek t with
+  | Lexer.KW "if" ->
+    advance t;
+    eat_punct t "(";
+    let c = expr t in
+    eat_punct t ")";
+    let th = block t in
+    let el =
+      if peek t = Lexer.KW "else" then begin
+        advance t;
+        if peek t = Lexer.KW "if" then [ stmt t ] else block t
+      end
+      else []
+    in
+    Ast.If (c, th, el)
+  | Lexer.KW "while" ->
+    advance t;
+    eat_punct t "(";
+    let c = expr t in
+    eat_punct t ")";
+    Ast.While (c, block t)
+  | Lexer.KW "for" ->
+    advance t;
+    eat_punct t "(";
+    let init =
+      if peek t = Lexer.PUNCT ";" then None else Some (simple_stmt t)
+    in
+    eat_punct t ";";
+    let cond = if peek t = Lexer.PUNCT ";" then None else Some (expr t) in
+    eat_punct t ";";
+    let step =
+      if peek t = Lexer.PUNCT ")" then None else Some (simple_stmt t)
+    in
+    eat_punct t ")";
+    Ast.For (init, cond, step, block t)
+  | Lexer.KW "switch" ->
+    advance t;
+    eat_punct t "(";
+    let e = expr t in
+    eat_punct t ")";
+    eat_punct t "{";
+    let cases = ref [] in
+    let default = ref [] in
+    let rec stmts_until_break acc =
+      match peek t with
+      | Lexer.KW "break" ->
+        advance t;
+        eat_punct t ";";
+        List.rev acc
+      | Lexer.PUNCT "}" | Lexer.KW "case" | Lexer.KW "default" -> List.rev acc
+      | _ -> stmts_until_break (stmt t :: acc)
+    in
+    let rec go () =
+      match peek t with
+      | Lexer.KW "case" ->
+        advance t;
+        let v = int_lit t in
+        eat_punct t ":";
+        cases := (v, stmts_until_break []) :: !cases;
+        go ()
+      | Lexer.KW "default" ->
+        advance t;
+        eat_punct t ":";
+        default := stmts_until_break [];
+        go ()
+      | Lexer.PUNCT "}" -> advance t
+      | _ -> fail t "expected 'case', 'default' or '}'"
+    in
+    go ();
+    Ast.Switch (e, List.rev !cases, !default)
+  | Lexer.KW "return" ->
+    advance t;
+    let e = expr t in
+    eat_punct t ";";
+    Ast.Return e
+  | Lexer.KW "print" ->
+    advance t;
+    let e = expr t in
+    eat_punct t ";";
+    Ast.Print e
+  | Lexer.KW "putc" ->
+    advance t;
+    let e = expr t in
+    eat_punct t ";";
+    Ast.Putc e
+  | Lexer.KW "break" ->
+    advance t;
+    eat_punct t ";";
+    Ast.Break
+  | Lexer.KW "continue" ->
+    advance t;
+    eat_punct t ";";
+    Ast.Continue
+  | _ ->
+    let s = simple_stmt t in
+    eat_punct t ";";
+    s
+
+let global t : Ast.global option =
+  match peek t with
+  | Lexer.KW "func" ->
+    advance t;
+    let name = ident t in
+    eat_punct t "[";
+    (match peek t with Lexer.INT _ -> advance t | _ -> ());
+    eat_punct t "]";
+    eat_punct t "=";
+    eat_punct t "{";
+    let rec go acc =
+      let f = ident t in
+      match peek t with
+      | Lexer.PUNCT "," ->
+        advance t;
+        go (f :: acc)
+      | Lexer.PUNCT "}" ->
+        advance t;
+        List.rev (f :: acc)
+      | _ -> fail t "expected ',' or '}'"
+    in
+    let fs = go [] in
+    eat_punct t ";";
+    Some (Ast.Gfuncs (name, fs))
+  | Lexer.KW "byte" ->
+    advance t;
+    let name = ident t in
+    eat_punct t "[";
+    let n = Int64.to_int (int_lit t) in
+    eat_punct t "]";
+    let init =
+      if peek t = Lexer.PUNCT "=" then begin
+        advance t;
+        match peek t with
+        | Lexer.STR s ->
+          advance t;
+          Some s
+        | _ -> fail t "expected string initialiser"
+      end
+      else None
+    in
+    eat_punct t ";";
+    Some (Ast.Gbytes (name, n, init))
+  | Lexer.KW "int" -> (
+    (* lookahead: "int name (" is a function, handled by the caller *)
+    match t.toks with
+    | _ :: (Lexer.IDENT _, _) :: (Lexer.PUNCT "(", _) :: _ -> None
+    | _ ->
+      advance t;
+      let name = ident t in
+      if peek t = Lexer.PUNCT "[" then begin
+        advance t;
+        let n = Int64.to_int (int_lit t) in
+        eat_punct t "]";
+        let init =
+          if peek t = Lexer.PUNCT "=" then begin
+            advance t;
+            eat_punct t "{";
+            let rec go acc =
+              let v = int_lit t in
+              match peek t with
+              | Lexer.PUNCT "," ->
+                advance t;
+                go (v :: acc)
+              | Lexer.PUNCT "}" ->
+                advance t;
+                List.rev (v :: acc)
+              | _ -> fail t "expected ',' or '}'"
+            in
+            go []
+          end
+          else []
+        in
+        eat_punct t ";";
+        Some (Ast.Garray (name, n, init))
+      end
+      else begin
+        let v = if peek t = Lexer.PUNCT "=" then (advance t; int_lit t) else 0L in
+        eat_punct t ";";
+        Some (Ast.Gscalar (name, v))
+      end)
+  | _ -> None
+
+let func t : Ast.func =
+  eat t (Lexer.KW "int");
+  let name = ident t in
+  eat_punct t "(";
+  let params =
+    if peek t = Lexer.PUNCT ")" then begin
+      advance t;
+      []
+    end
+    else begin
+      let rec go acc =
+        eat t (Lexer.KW "int");
+        let p = ident t in
+        match peek t with
+        | Lexer.PUNCT "," ->
+          advance t;
+          go (p :: acc)
+        | Lexer.PUNCT ")" ->
+          advance t;
+          List.rev (p :: acc)
+        | _ -> fail t "expected ',' or ')'"
+      in
+      go []
+    end
+  in
+  if List.length params > 6 then fail t "at most 6 parameters";
+  { Ast.name; params; body = block t }
+
+let parse src : Ast.program =
+  let t = { toks = Lexer.tokenize src } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match peek t with
+    | Lexer.EOF -> ()
+    | _ -> (
+      match global t with
+      | Some g ->
+        globals := g :: !globals;
+        go ()
+      | None ->
+        funcs := func t :: !funcs;
+        go ())
+  in
+  go ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,84 @@
+(* MiniC runtime support, in Alpha assembly.
+
+   [startup] calls main and halts with its return value as the exit code.
+   Alpha has no integer divide instruction, so [/] and [%] compile to calls
+   into the shift-subtract routines below (64 iterations), exactly as a C
+   compiler without hardware divide would emit a millicode call. *)
+
+let startup = {|
+  .text
+_start:
+  bsr   ra, main
+  call_pal 0
+|}
+
+let divide = {|
+; unsigned 64-bit divide/modulo: a0 / a1 -> v0 quotient, t0 remainder.
+; Division by zero yields quotient 0 and remainder a0 (no trap).
+__udivmodq:
+  clr   v0
+  clr   t0
+  beq   a1, __udm_done
+  ldiq  t1, 64
+__udm_loop:
+  sll   t0, 1, t0
+  srl   a0, 63, t2
+  bis   t0, t2, t0
+  sll   a0, 1, a0
+  sll   v0, 1, v0
+  cmpult t0, a1, t3
+  bne   t3, __udm_skip
+  subq  t0, a1, t0
+  addq  v0, 1, v0
+__udm_skip:
+  subq  t1, 1, t1
+  bne   t1, __udm_loop
+__udm_done:
+  ret
+
+; signed divide, C truncation semantics
+__divq:
+  lda   sp, -16(sp)
+  stq   ra, 0(sp)
+  clr   t5
+  bge   a0, __dv_1
+  subq  zero, a0, a0
+  xor   t5, 1, t5
+__dv_1:
+  bge   a1, __dv_2
+  subq  zero, a1, a1
+  xor   t5, 1, t5
+__dv_2:
+  stq   t5, 8(sp)
+  bsr   ra, __udivmodq
+  ldq   t5, 8(sp)
+  beq   t5, __dv_3
+  subq  zero, v0, v0
+__dv_3:
+  ldq   ra, 0(sp)
+  lda   sp, 16(sp)
+  ret
+
+; signed remainder: sign follows the dividend
+__remq:
+  lda   sp, -16(sp)
+  stq   ra, 0(sp)
+  clr   t5
+  bge   a0, __rm_1
+  subq  zero, a0, a0
+  ldiq  t5, 1
+__rm_1:
+  bge   a1, __rm_2
+  subq  zero, a1, a1
+__rm_2:
+  stq   t5, 8(sp)
+  bsr   ra, __udivmodq
+  ldq   t5, 8(sp)
+  mov   t0, v0
+  beq   t5, __rm_3
+  subq  zero, v0, v0
+__rm_3:
+  ldq   ra, 0(sp)
+  lda   sp, 16(sp)
+  ret
+|}

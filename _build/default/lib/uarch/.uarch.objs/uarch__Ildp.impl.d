@@ -1,0 +1,1 @@
+lib/uarch/ildp.ml: Array Cache Ev Machine Memhier Pred Slots

@@ -1,0 +1,1 @@
+lib/uarch/ildp.mli: Machine Pred Slots

@@ -1,0 +1,1 @@
+lib/uarch/ooo.ml: Array Cache Ev Machine Memhier Pred Slots

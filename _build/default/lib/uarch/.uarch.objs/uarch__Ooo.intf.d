@@ -1,0 +1,1 @@
+lib/uarch/ooo.mli: Machine Pred Slots

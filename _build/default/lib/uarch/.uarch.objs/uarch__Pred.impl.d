@@ -1,0 +1,1 @@
+lib/uarch/pred.ml: Btb Ev Gshare Machine Ras

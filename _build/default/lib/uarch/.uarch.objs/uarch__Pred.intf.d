@@ -1,0 +1,1 @@
+lib/uarch/pred.mli: Machine

@@ -1,0 +1,61 @@
+(** Trace-driven out-of-order superscalar timing model (Table 1, left
+    column): 4-wide fetch/decode/retire, 128-entry ROB with an equally
+    large issue window, oldest-first issue over 4 symmetric function units,
+    g-share + BTB + RAS front end with 3-cycle redirects, 32KB L1I/L1D and
+    a 1MB unified L2.
+
+    Event-ordered: each committed instruction is scheduled greedily in
+    program order against bandwidth slots and dependence ready times (which
+    realises oldest-first issue without a cycle-by-cycle window scan); the
+    fetch stage models per-cycle width, the 3-sequential-basic-block limit,
+    taken-branch group breaks, I-cache misses and redirect latencies;
+    dispatch stalls when the ROB fills; commit is in order. *)
+
+type params = {
+  width : int;
+  rob : int;
+  depth : int;  (** fetch-to-dispatch stages *)
+  redirect : int;
+  mul_lat : int;
+  max_blocks : int;  (** sequential basic blocks per fetch cycle *)
+  icache_size : int;
+  icache_line : int;
+  mem : Machine.Memhier.cfg;
+}
+
+val default_params : params
+
+type t = {
+  p : params;
+  pred : Pred.t;
+  icache : Machine.Cache.t;
+  dmem : Machine.Memhier.t;
+  reg_ready : int array;
+  issue : Slots.t;
+  commit : Slots.t;
+  rob_ring : int array;
+  mutable fetch_cycle : int;
+  mutable fetch_insns : int;
+  mutable fetch_blocks : int;
+  mutable last_line : int;
+  mutable next_fetch_min : int;
+  mutable prev_open_bb : bool;
+  mutable last_commit : int;
+  mutable n : int;  (** instructions committed *)
+  mutable alpha : int;  (** V-ISA instructions retired *)
+  mutable start_cycle : int;
+}
+
+val create : ?params:params -> ?use_ras:bool -> unit -> t
+
+val feed : t -> Machine.Ev.t -> unit
+(** Charge one committed instruction. *)
+
+val boundary : t -> unit
+(** Mode-switch boundary: drain the pipeline (paper Section 4.1: "timing
+    simulation starts with an initially empty pipeline"). *)
+
+val cycles : t -> int
+val ipc : t -> float
+val v_ipc : t -> float
+(** V-ISA instructions per cycle — the paper's headline metric. *)

@@ -1,0 +1,33 @@
+(** Front-end prediction bundle shared by both timing models: g-share
+    direction predictor, BTB, conventional RAS, and the dual-address-RAS
+    outcomes carried on events by the functional simulator. *)
+
+type t = {
+  gshare : Machine.Gshare.t;
+  btb : Machine.Btb.t;
+  ras : Machine.Ras.t;
+  use_ras : bool;
+      (** when false, returns fall back to the BTB (Fig. 6's no-RAS
+          configurations) *)
+  mutable control : int;  (** control-transfer instructions seen *)
+  mutable mispredicts : int;
+  mutable misfetches : int;
+}
+
+val create : ?use_ras:bool -> unit -> t
+
+type outcome =
+  [ `Seq  (** no transfer, or correctly predicted not-taken *)
+  | `Taken_ok  (** taken, direction and target both predicted *)
+  | `Misfetch
+    (** direction right but the target was not fetchable (BTB miss on a
+        direct transfer): refetch after the redirect latency *)
+  | `Mispredict
+    (** direction or target wrong: restart after the instruction resolves *)
+  ]
+
+val classify : t -> Machine.Ev.t -> outcome
+(** Classify (and train on) one committed control event. *)
+
+val mpki : t -> insns:int -> float
+(** Mispredictions per 1000 committed instructions (Fig. 4's metric). *)

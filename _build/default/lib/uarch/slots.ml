@@ -1,0 +1,36 @@
+(* Per-cycle resource-slot booking.
+
+   The trace-driven pipeline models book bandwidth-limited resources (issue
+   ports, commit ports) by finding the first cycle at or after a request
+   with a free slot. Bookings are always within a bounded window of the
+   advancing commit horizon (at most ROB-size instructions times the worst
+   memory latency), far smaller than the ring, so stale entries are
+   harmlessly overwritten. *)
+
+type t = {
+  cyc : int array; (* cycle owning this ring entry *)
+  cnt : int array; (* slots used in that cycle *)
+  mask : int;
+  width : int;
+}
+
+let window_bits = 17
+
+let create ~width =
+  let n = 1 lsl window_bits in
+  { cyc = Array.make n (-1); cnt = Array.make n 0; mask = n - 1; width }
+
+(* Book one slot at the first cycle >= [c] with spare capacity; returns the
+   booked cycle. *)
+let rec book t c =
+  let i = c land t.mask in
+  if t.cyc.(i) <> c then begin
+    t.cyc.(i) <- c;
+    t.cnt.(i) <- 1;
+    c
+  end
+  else if t.cnt.(i) < t.width then begin
+    t.cnt.(i) <- t.cnt.(i) + 1;
+    c
+  end
+  else book t (c + 1)

@@ -1,0 +1,11 @@
+(** Per-cycle resource-slot booking for the trace-driven pipeline models
+    (issue ports, commit ports): find the first cycle at or after a request
+    with a free slot. Bookings stay within a bounded window of the
+    advancing commit horizon, far smaller than the backing ring. *)
+
+type t
+
+val create : width:int -> t
+val book : t -> int -> int
+(** [book t c] books one slot at the first cycle [>= c] with spare
+    capacity and returns that cycle. *)

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Alpha Format Hashtbl List Minic Printf Wl_bzip2 Wl_crafty Wl_eon Wl_gap Wl_gcc Wl_gzip Wl_mcf Wl_parser Wl_perlbmk Wl_twolf Wl_vortex Wl_vpr

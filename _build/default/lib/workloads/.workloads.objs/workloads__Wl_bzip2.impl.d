@@ -1,0 +1,1 @@
+lib/workloads/wl_bzip2.ml: Printf

@@ -1,0 +1,63 @@
+(* 186.crafty analogue: bitboard manipulation — 64-bit logical operations,
+   shift-based attack-mask generation and population counts, with [sel]
+   (CMOV) min/max in the evaluation. Logical-op dominated, high ILP. *)
+
+let name = "crafty"
+let description = "bitboard attack masks and popcounts (64-bit logical ops)"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int boards[256];
+int best = 0;
+int nodes = 0;
+
+int popcount(int b) {
+  int m1 = 0x5555555555555555;
+  int m2 = 0x3333333333333333;
+  int m4 = 0x0f0f0f0f0f0f0f0f;
+  b = b - ((b >> 1) & m1);
+  b = (b & m2) + ((b >> 2) & m2);
+  b = (b + (b >> 4)) & m4;
+  return (b * 0x0101010101010101) >> 56;
+}
+
+int king_attacks(int sq) {
+  int b = 1 << sq;
+  int notA = ~0x0101010101010101;
+  int notH = ~0x8080808080808080;
+  int a = ((b << 1) & notA) | ((b >> 1) & notH);
+  a = a | (b << 8) | (b >> 8);
+  a = a | (((b << 9) | (b >> 7)) & notA);
+  a = a | (((b << 7) | (b >> 9)) & notH);
+  return a;
+}
+
+int main() {
+  int rounds = %d;
+  int seed = 0x9e3779b9;
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    boards[i] = seed;
+  }
+  int r;
+  for (r = 0; r < rounds; r = r + 1) {
+    int sq;
+    for (sq = 0; sq < 64; sq = sq + 1) {
+      int occ = boards[(r + sq) & 255];
+      int att = king_attacks(sq);
+      int hits = popcount(att & occ);
+      int score = hits * 3 - popcount(att & ~occ);
+      best = sel(score > best, score, best);
+      nodes = nodes + 1;
+      boards[(r + sq) & 255] = occ ^ (att & (occ >> 1));
+    }
+  }
+  print best;
+  print nodes;
+  print boards[13] & 0xffffff;
+  return 0;
+}
+|}
+    (max 1 (35 * scale))

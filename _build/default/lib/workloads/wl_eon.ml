@@ -1,0 +1,61 @@
+(* 252.eon analogue: fixed-point (16.16) ray-sphere intersection tests —
+   multiply-heavy straight-line math inside small functions, plus an
+   indirect "shader" dispatch through a function table (eon is C++: its
+   virtual calls are indirect). *)
+
+let name = "eon"
+let description = "fixed-point ray tracing kernels with shader dispatch"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int hits = 0;
+int misses = 0;
+int shade_acc = 0;
+
+int fxmul(int a, int b) { return (a * b) >> 16; }
+
+int dot(int ax, int ay, int az, int bx, int by, int bz) {
+  return fxmul(ax, bx) + fxmul(ay, by) + fxmul(az, bz);
+}
+
+int shade_flat(int d) { return d >> 2; }
+int shade_diffuse(int d) { return fxmul(d, d) + (d >> 4); }
+int shade_spec(int d) { return fxmul(fxmul(d, d), d); }
+func shaders[] = { shade_flat, shade_diffuse, shade_spec };
+
+int main() {
+  int rounds = %d;
+  int one = 65536;
+  int seed = 99;
+  int sh = 0;
+  int r;
+  for (r = 0; r < rounds; r = r + 1) {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    int dx = (seed >> 40) & 0xffff;
+    int dy = (seed >> 24) & 0xffff;
+    int dz = one - ((dx + dy) >> 1);
+    int cx = one >> 1;
+    int cy = one >> 2;
+    int cz = one;
+    int radius2 = one >> 1;
+    // |C|^2 - (C.D)^2 <= r^2  (D approximately unit)
+    int cd = dot(cx, cy, cz, dx, dy, dz);
+    int cc = dot(cx, cy, cz, cx, cy, cz);
+    int disc = radius2 - (cc - fxmul(cd, cd));
+    if (disc > 0) {
+      hits = hits + 1;
+      shade_acc = (shade_acc + shaders[sh](cd)) & 0xffffff;
+    } else {
+      misses = misses + 1;
+    }
+    sh = sh + 1;
+    sh = sel(sh == 3, 0, sh);
+  }
+  print hits;
+  print misses;
+  print shade_acc;
+  return 0;
+}
+|}
+    (max 1 (900 * scale))

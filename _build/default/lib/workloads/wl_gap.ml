@@ -1,0 +1,51 @@
+(* 254.gap analogue: computational group theory in miniature —
+   permutation composition, cycle-order computation and small modular
+   arithmetic over word arrays. Multiply and array-index dominated. *)
+
+let name = "gap"
+let description = "permutation composition and cycle orders"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int p[64];
+int q[64];
+int r[64];
+int orders = 0;
+int checksum = 0;
+
+int compose() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { r[i] = p[q[i]]; }
+  for (i = 0; i < 64; i = i + 1) { p[i] = r[i]; }
+  return 0;
+}
+
+int cycle_order(int start) {
+  int x = p[start];
+  int len = 1;
+  while (x != start && len < 64) { x = p[x]; len = len + 1; }
+  return len;
+}
+
+int main() {
+  int rounds = %d;
+  int seed = 5;
+  int i;
+  for (i = 0; i < 64; i = i + 1) { p[i] = i; }
+  // q: a fixed full-cycle permutation with multiplicative stride
+  for (i = 0; i < 64; i = i + 1) { q[i] = (i * 37 + 11) & 63; }
+  int rr;
+  for (rr = 0; rr < rounds; rr = rr + 1) {
+    compose();
+    seed = seed * 1103515245 + 12345;
+    int s = (seed >> 16) & 63;
+    orders = orders + cycle_order(s);
+    checksum = (checksum * 131 + p[s]) & 0xffffff;
+  }
+  print orders;
+  print checksum;
+  return 0;
+}
+|}
+    (max 1 (180 * scale))

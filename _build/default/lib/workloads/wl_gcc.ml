@@ -1,0 +1,56 @@
+(* 176.gcc analogue: a token-stream "compiler front end" — one large dense
+   switch (compiled to a jump table, i.e. register-indirect jumps) over a
+   synthetic token stream, with branchy per-case processing and a growing
+   symbol-ish table. *)
+
+let name = "gcc"
+let description = "token-stream processing through a 16-way jump table"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int toks[8192];
+int symtab[512];
+int emitted = 0;
+int errors = 0;
+int depth = 0;
+
+int main() {
+  int n = %d;
+  int seed = 424242;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    toks[i] = (seed >> 18) & 15;
+  }
+  for (i = 0; i < 512; i = i + 1) { symtab[i] = 0; }
+  int state = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int t = toks[i];
+    switch (t) {
+      case 0: state = state + 1; emitted = emitted + 1; break;
+      case 1: state = state - 1; break;
+      case 2: symtab[(state + i) & 511] = i; emitted = emitted + 2; break;
+      case 3: if (symtab[i & 511] != 0) { emitted = emitted + 1; } break;
+      case 4: depth = depth + 1; break;
+      case 5: if (depth > 0) { depth = depth - 1; } else { errors = errors + 1; } break;
+      case 6: state = state ^ t; break;
+      case 7: state = (state << 1) & 0xffff; break;
+      case 8: state = state | 1; emitted = emitted + 1; break;
+      case 9: if (state & 1) { emitted = emitted + 1; } else { errors = errors + 1; } break;
+      case 10: symtab[state & 511] = symtab[(state + 7) & 511] + 1; break;
+      case 11: state = symtab[i & 511] + depth; break;
+      case 12: emitted = emitted + (state & 3); break;
+      case 13: if (i & 1) { state = state + 3; } break;
+      case 14: state = state * 5 + 1; break;
+      default: errors = errors + 1; break;
+    }
+  }
+  print emitted;
+  print errors;
+  print state & 0xffff;
+  print depth;
+  return 0;
+}
+|}
+    (min 8000 (5000 * scale))

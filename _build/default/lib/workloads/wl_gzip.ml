@@ -1,0 +1,53 @@
+(* 164.gzip analogue: LZ77-style rolling-hash match search over a byte
+   stream — byte loads, short dependence chains, the paper's Fig. 2 code
+   shape. Input bytes come from a deterministic LCG with planted
+   redundancy so both match and literal paths stay hot. *)
+
+let name = "gzip"
+let description = "byte-stream rolling-hash match search (LZ77-like)"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int head[4096];
+int matches = 0;
+int literals = 0;
+int checksum = 0;
+byte input[16384];
+
+int main() {
+  int n = %d;
+  int rounds = %d;
+  int seed = 12345;
+  int i;
+  int r;
+  for (i = 0; i < n; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    input[i] = (seed >> 16) & 255;
+    if ((i & 31) < 12) { input[i] = 65 + (i & 3); }
+  }
+  for (r = 0; r < rounds; r = r + 1) {
+    for (i = 0; i < 4096; i = i + 1) { head[i] = 0; }
+    int h = 0;
+    i = 0;
+    while (i + 8 < n) {
+      h = ((input[i] << 7) ^ (input[i + 1] << 3) ^ input[i + 2]) & 4095;
+      int j = head[h];
+      head[h] = i;
+      int len = 0;
+      if (j > 0 && j < i) {
+        while (len < 8 && input[j + len] == input[i + len]) { len = len + 1; }
+      }
+      if (len >= 3) { matches = matches + 1; i = i + len; }
+      else { literals = literals + 1; i = i + 1; }
+      checksum = (checksum + input[i] + len) & 0xffffff;
+    }
+  }
+  print matches;
+  print literals;
+  print checksum;
+  return 0;
+}
+|}
+    (min 16000 (4000 * scale))
+    (max 1 scale)

@@ -1,0 +1,48 @@
+(* 181.mcf analogue: network-simplex-flavoured pointer chasing — nodes as
+   parallel arrays linked by index "pointers"; the hot loop walks successor
+   chains (serial dependence through loads) relaxing costs. Low ILP, memory
+   latency bound. *)
+
+let name = "mcf"
+let description = "linked-list pointer chasing with cost relaxation"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int next[4096];
+int cost[4096];
+int pot[4096];
+int relaxed = 0;
+int total = 0;
+
+int main() {
+  int n = 4096;
+  int rounds = %d;
+  int seed = 31337;
+  int i;
+  // a pseudo-random single cycle through all nodes
+  for (i = 0; i < n; i = i + 1) {
+    next[i] = (i * 1021 + 517) & 4095;
+    seed = seed * 1103515245 + 12345;
+    cost[i] = (seed >> 20) & 255;
+    pot[i] = 0;
+  }
+  int r;
+  for (r = 0; r < rounds; r = r + 1) {
+    int u = r & 4095;
+    int steps = 400;
+    while (steps > 0) {
+      int v = next[u];
+      int c = pot[u] + cost[u];
+      if (c < pot[v] || pot[v] == 0) { pot[v] = c; relaxed = relaxed + 1; }
+      u = v;
+      steps = steps - 1;
+    }
+    total = total + pot[u];
+  }
+  print relaxed;
+  print total & 0xffffff;
+  return 0;
+}
+|}
+    (max 1 (25 * scale))

@@ -1,0 +1,87 @@
+(* 197.parser analogue: recursive-descent evaluation of generated
+   expression streams — deep call/return chains, the workload that
+   stresses return-address prediction (the dual-address RAS experiments). *)
+
+let name = "parser"
+let description = "recursive-descent expression evaluation (call/return heavy)"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+// token codes: 0 num, 1 '+', 2 '*', 3 '(', 4 ')', 5 end
+int tk[4096];
+int tv[4096];
+int pos = 0;
+int parsed = 0;
+
+int gen(int i, int depth, int seed) {
+  // deterministically fill tk/tv with a nest of parenthesised sums
+  if (depth > 6 || i > 3800) {
+    tk[i] = 0; tv[i] = seed & 63;
+    return i + 1;
+  }
+  int s2 = seed * 1103515245 + 12345;
+  int choice = (s2 >> 16) & 3;
+  if (choice == 0) {
+    tk[i] = 0; tv[i] = s2 & 63;
+    return i + 1;
+  }
+  if (choice == 1) {
+    tk[i] = 3;
+    int j = gen(i + 1, depth + 1, s2);
+    tk[j] = 4;
+    return j + 1;
+  }
+  int k = gen(i, depth + 1, s2);
+  tk[k] = sel(choice == 2, 1, 2);
+  return gen(k + 1, depth + 1, s2 * 3 + 1);
+}
+
+// (all functions are pre-registered: mutual recursion needs no forward decl)
+int parse_factor() {
+  int t = tk[pos];
+  if (t == 3) {
+    pos = pos + 1;
+    int v = parse_expr();
+    pos = pos + 1;  // ')'
+    return v;
+  }
+  pos = pos + 1;
+  return tv[pos - 1];
+}
+
+int parse_term() {
+  int v = parse_factor();
+  while (tk[pos] == 2) {
+    pos = pos + 1;
+    v = (v * parse_factor()) & 0xffff;
+  }
+  return v;
+}
+
+int parse_expr() {
+  int v = parse_term();
+  while (tk[pos] == 1) {
+    pos = pos + 1;
+    v = (v + parse_term()) & 0xffff;
+  }
+  parsed = parsed + 1;
+  return v;
+}
+
+int main() {
+  int rounds = %d;
+  int total = 0;
+  int r;
+  for (r = 0; r < rounds; r = r + 1) {
+    int end = gen(0, 0, r * 2654435761 + 17);
+    tk[end] = 5;
+    pos = 0;
+    total = (total + parse_expr()) & 0xffffff;
+  }
+  print total;
+  print parsed;
+  return 0;
+}
+|}
+    (max 1 (220 * scale))

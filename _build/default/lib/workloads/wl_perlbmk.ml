@@ -1,0 +1,70 @@
+(* 253.perlbmk analogue: a bytecode interpreter — the canonical
+   indirect-jump workload. A threaded dispatch loop runs a generated
+   bytecode program through a dense switch; string-ish byte-array ops mimic
+   Perl's text processing. *)
+
+let name = "perlbmk"
+let description = "bytecode interpreter with switch dispatch"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int code[2048];
+int stack[256];
+int vars[64];
+byte text[2048];
+int executed = 0;
+int output = 0;
+
+int main() {
+  int rounds = %d;
+  int codelen = 600;
+  int seed = 271828;
+  int i;
+  for (i = 0; i < codelen; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    code[i] = (seed >> 17) & 7;
+  }
+  for (i = 0; i < 2048; i = i + 1) { text[i] = 97 + (i & 15); }
+  int r;
+  for (r = 0; r < rounds; r = r + 1) {
+    int pc = 0;
+    int sp = 0;
+    int steps = 0;
+    while (pc < codelen && steps < 4000) {
+      int op = code[pc];
+      steps = steps + 1;
+      switch (op) {
+        case 0:  // push pc
+          stack[sp & 255] = pc; sp = sp + 1; pc = pc + 1; break;
+        case 1:  // add top two
+          if (sp >= 2) { stack[(sp - 2) & 255] = stack[(sp - 2) & 255] + stack[(sp - 1) & 255]; sp = sp - 1; }
+          pc = pc + 1; break;
+        case 2:  // store var
+          if (sp >= 1) { vars[pc & 63] = stack[(sp - 1) & 255]; sp = sp - 1; }
+          pc = pc + 1; break;
+        case 3:  // load var
+          stack[sp & 255] = vars[pc & 63]; sp = sp + 1; pc = pc + 1; break;
+        case 4:  // text match step
+          output = output + text[(stack[sp & 255] + pc) & 2047];
+          pc = pc + 1; break;
+        case 5:  // conditional skip
+          if (vars[pc & 63] & 1) { pc = pc + 2; } else { pc = pc + 1; }
+          break;
+        case 6:  // backward hop (bounded)
+          if ((steps & 63) == 0) { pc = (pc >> 1) + 1; } else { pc = pc + 1; }
+          break;
+        default: // nop-ish text churn
+          text[pc & 2047] = (text[pc & 2047] + 1) & 255;
+          pc = pc + 1;
+          break;
+      }
+      executed = executed + 1;
+    }
+  }
+  print executed;
+  print output & 0xffffff;
+  return 0;
+}
+|}
+    (max 1 (10 * scale))

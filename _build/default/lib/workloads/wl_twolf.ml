@@ -1,0 +1,75 @@
+(* 300.twolf analogue: simulated-annealing placement — cells on a grid,
+   random pair swaps accepted when half-perimeter wirelength improves (or
+   with decaying "temperature"). Heavy on [sel] (CMOV) absolute values and
+   data-dependent branches. *)
+
+let name = "twolf"
+let description = "annealing-style cell placement with wirelength costs"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int cx[256];
+int cy[256];
+int net_a[256];
+int net_b[256];
+int accepted = 0;
+int rejected = 0;
+int cost_now = 0;
+
+int absd(int d) { return sel(d < 0, 0 - d, d); }
+
+int net_cost(int n) {
+  int a = net_a[n];
+  int b = net_b[n];
+  return absd(cx[a] - cx[b]) + absd(cy[a] - cy[b]);
+}
+
+int total_cost() {
+  int s = 0;
+  int n;
+  for (n = 0; n < 256; n = n + 1) { s = s + net_cost(n); }
+  return s;
+}
+
+int main() {
+  int moves = %d;
+  int seed = 2718281;
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    cx[i] = (i * 7) & 63;
+    cy[i] = (i * 13) & 63;
+    net_a[i] = i;
+    net_b[i] = (i * 57 + 3) & 255;
+  }
+  cost_now = total_cost();
+  int temp = 8;
+  int step = (moves >> 3) + 1;
+  int next_drop = step;
+  int m;
+  for (m = 0; m < moves; m = m + 1) {
+    if (m == next_drop) { temp = temp - 1; next_drop = next_drop + step; }
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    int a = (seed >> 32) & 255;
+    int b = (seed >> 24) & 255;
+    int before = net_cost(a) + net_cost(b);
+    // swap the two cells' coordinates
+    int tx = cx[a]; cx[a] = cx[b]; cx[b] = tx;
+    int ty = cy[a]; cy[a] = cy[b]; cy[b] = ty;
+    int after = net_cost(a) + net_cost(b);
+    if (after - before <= temp) {
+      accepted = accepted + 1;
+      cost_now = cost_now + after - before;
+    } else {
+      rejected = rejected + 1;
+      tx = cx[a]; cx[a] = cx[b]; cx[b] = tx;
+      ty = cy[a]; cy[a] = cy[b]; cy[b] = ty;
+    }
+  }
+  print accepted;
+  print rejected;
+  print cost_now;
+  return 0;
+}
+|}
+    (max 1 (700 * scale))

@@ -1,0 +1,94 @@
+(* 255.vortex analogue: an object-database kernel — hash-table insert,
+   lookup and delete with collision chains in index arrays, driven by a
+   deterministic operation stream through small functions. Call + memory
+   reference heavy. *)
+
+let name = "vortex"
+let description = "hash-table database: insert/lookup/delete streams"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int bucket[1024];   // head index + 1, 0 = empty
+int keys[4096];
+int vals[4096];
+int chain[4096];    // next index + 1
+int free_top = 1;
+int found = 0;
+int missing = 0;
+int inserted = 0;
+int deleted = 0;
+
+int hash(int k) {
+  int h = k * 2654435761;
+  return (h >> 8) & 1023;
+}
+
+int insert(int k, int v) {
+  if (free_top >= 4096) { return 0; }
+  int h = hash(k);
+  int idx = free_top;
+  free_top = free_top + 1;
+  keys[idx] = k;
+  vals[idx] = v;
+  chain[idx] = bucket[h];
+  bucket[h] = idx + 1;
+  inserted = inserted + 1;
+  return idx;
+}
+
+int lookup(int k) {
+  int cur = bucket[hash(k)];
+  while (cur != 0) {
+    if (keys[cur - 1] == k) { found = found + 1; return vals[cur - 1]; }
+    cur = chain[cur - 1];
+  }
+  missing = missing + 1;
+  return 0 - 1;
+}
+
+int remove(int k) {
+  int h = hash(k);
+  int cur = bucket[h];
+  int prev = 0;
+  while (cur != 0) {
+    if (keys[cur - 1] == k) {
+      if (prev == 0) { bucket[h] = chain[cur - 1]; }
+      else { chain[prev - 1] = chain[cur - 1]; }
+      deleted = deleted + 1;
+      return 1;
+    }
+    prev = cur;
+    cur = chain[cur - 1];
+  }
+  return 0;
+}
+
+int main() {
+  int ops = %d;
+  int seed = 404;
+  int i;
+  for (i = 0; i < 1024; i = i + 1) { bucket[i] = 0; }
+  int acc = 0;
+  for (i = 0; i < ops; i = i + 1) {
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    int k = (seed >> 30) & 2047;
+    int op = (seed >> 20) & 3;
+    if (op == 0) { insert(k, i); }
+    else { if (op == 3) { remove(k); } else { acc = acc + lookup(k); } }
+    if (free_top >= 4000) {
+      // compact: drop everything (a "commit") and start refilling
+      int b;
+      for (b = 0; b < 1024; b = b + 1) { bucket[b] = 0; }
+      free_top = 1;
+    }
+  }
+  print inserted;
+  print found;
+  print missing;
+  print deleted;
+  print acc & 0xffffff;
+  return 0;
+}
+|}
+    (max 1 (1800 * scale))

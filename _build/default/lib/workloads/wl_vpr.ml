@@ -1,0 +1,64 @@
+(* 175.vpr analogue: FPGA-style maze routing — breadth-first wave expansion
+   over a grid with obstacles, queue in an int array, per-neighbour bounds
+   checks. Branchy with irregular memory access. *)
+
+let name = "vpr"
+let description = "maze routing: BFS wave expansion over an obstructed grid"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int grid[4096];   // 64x64: 0 free, 1 blocked, >=2 visited-mark
+int queue[4096];
+int routed = 0;
+int failed = 0;
+int touched = 0;
+
+int route(int src, int dst, int mark) {
+  int head = 0;
+  int tail = 0;
+  queue[tail] = src;
+  tail = tail + 1;
+  grid[src] = mark;
+  while (head < tail) {
+    int cur = queue[head];
+    head = head + 1;
+    if (cur == dst) { return 1; }
+    int x = cur & 63;
+    int y = cur >> 6;
+    // four neighbours with bounds checks
+    if (x > 0 && grid[cur - 1] == 0) { grid[cur - 1] = mark; queue[tail] = cur - 1; tail = tail + 1; }
+    if (x < 63 && grid[cur + 1] == 0) { grid[cur + 1] = mark; queue[tail] = cur + 1; tail = tail + 1; }
+    if (y > 0 && grid[cur - 64] == 0) { grid[cur - 64] = mark; queue[tail] = cur - 64; tail = tail + 1; }
+    if (y < 63 && grid[cur + 64] == 0) { grid[cur + 64] = mark; queue[tail] = cur + 64; tail = tail + 1; }
+    touched = touched + 1;
+    if (tail > 4090) { return 0; }
+  }
+  return 0;
+}
+
+int main() {
+  int nets = %d;
+  int seed = 31415926;
+  int n;
+  for (n = 0; n < nets; n = n + 1) {
+    // rebuild obstacles each net, deterministic per net
+    int i;
+    int s = seed + n * 97;
+    for (i = 0; i < 4096; i = i + 1) {
+      s = s * 1103515245 + 12345;
+      grid[i] = sel(((s >> 16) & 3) == 0, 1, 0);
+    }
+    int src = ((n * 167) & 4095);
+    int dst = ((n * 331 + 2048) & 4095);
+    grid[src] = 0;
+    grid[dst] = 0;
+    if (route(src, dst, 2)) { routed = routed + 1; } else { failed = failed + 1; }
+  }
+  print routed;
+  print failed;
+  print touched;
+  return 0;
+}
+|}
+    (max 1 (2 * scale))

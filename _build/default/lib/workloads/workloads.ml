@@ -1,0 +1,55 @@
+(* Workload registry: the twelve SPEC CPU2000 INT analogues.
+
+   Each workload is MiniC source parameterised by [scale] (default 1 sizes
+   a run at a few hundred thousand dynamic V-ISA instructions — small
+   enough that the full evaluation sweep runs in minutes, large enough
+   that every hot region is translated and re-executed many times).
+   [program] compiles and caches the Alpha image; [expected_output] runs
+   the reference interpreter once so integration tests can compare every
+   execution mode against it. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : scale:int -> string;
+}
+
+let all : t list =
+  [
+    { name = Wl_gzip.name; description = Wl_gzip.description; source = Wl_gzip.source };
+    { name = Wl_vpr.name; description = Wl_vpr.description; source = Wl_vpr.source };
+    { name = Wl_gcc.name; description = Wl_gcc.description; source = Wl_gcc.source };
+    { name = Wl_mcf.name; description = Wl_mcf.description; source = Wl_mcf.source };
+    { name = Wl_crafty.name; description = Wl_crafty.description; source = Wl_crafty.source };
+    { name = Wl_parser.name; description = Wl_parser.description; source = Wl_parser.source };
+    { name = Wl_eon.name; description = Wl_eon.description; source = Wl_eon.source };
+    { name = Wl_perlbmk.name; description = Wl_perlbmk.description; source = Wl_perlbmk.source };
+    { name = Wl_gap.name; description = Wl_gap.description; source = Wl_gap.source };
+    { name = Wl_vortex.name; description = Wl_vortex.description; source = Wl_vortex.source };
+    { name = Wl_bzip2.name; description = Wl_bzip2.description; source = Wl_bzip2.source };
+    { name = Wl_twolf.name; description = Wl_twolf.description; source = Wl_twolf.source };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let cache : (string * int, Alpha.Program.t) Hashtbl.t = Hashtbl.create 16
+
+(* Compile (and memoise) the workload at the given scale. *)
+let program ?(scale = 1) w =
+  match Hashtbl.find_opt cache (w.name, scale) with
+  | Some p -> p
+  | None ->
+    let p = Minic.compile (w.source ~scale) in
+    Hashtbl.replace cache (w.name, scale) p;
+    p
+
+(* Reference run under the plain interpreter: exit code, output, dynamic
+   V-ISA instruction count. *)
+let reference ?(scale = 1) ?(fuel = 200_000_000) w =
+  let st = Alpha.Interp.create (program ~scale w) in
+  match Alpha.Interp.run ~fuel st with
+  | Alpha.Interp.Exit code -> (code, Alpha.Interp.output st, st.icount)
+  | Fault tr ->
+    failwith
+      (Format.asprintf "workload %s faulted: %a" w.name Alpha.Interp.pp_trap tr)
+  | Out_of_fuel -> failwith (Printf.sprintf "workload %s: out of fuel" w.name)

@@ -1,0 +1,1 @@
+test/test_accisa.ml: Accisa Alcotest Disasm Insn List Machine Printf Size Trace

@@ -1,0 +1,1 @@
+test/test_alpha.ml: Alcotest Alpha Array Char Int32 Int64 List Machine Printf QCheck QCheck_alcotest

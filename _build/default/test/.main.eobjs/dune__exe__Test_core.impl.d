@@ -1,0 +1,1 @@
+test/test_core.ml: Accisa Alcotest Alpha Array Config Core Format List Node Option Printf String Superblock Tcache Usage Vm

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Buffer Format Harness List Option String Uarch Workloads

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Btb Cache Dual_ras Gen Gshare Int64 List Machine Memhier Memory Printf QCheck QCheck_alcotest Ras Rng

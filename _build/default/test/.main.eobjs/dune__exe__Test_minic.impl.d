@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Alpha Core Int64 List Minic Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Alpha Array Buffer Core Gen Int64 List Machine Printf QCheck QCheck_alcotest

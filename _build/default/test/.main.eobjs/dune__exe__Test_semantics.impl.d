@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alpha Array Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_translate.ml: Accisa Alcotest Alpha Array Config Core List Option Printf Straighten Tcache Vm

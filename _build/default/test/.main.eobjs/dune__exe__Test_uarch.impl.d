@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Alpha Core Ev Machine Printf Uarch

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Alpha Core Hashtbl List Machine Option Printf String Workloads

@@ -1,0 +1,17 @@
+(* Test entry point: one alcotest run aggregating per-library suites. *)
+
+let () =
+  Alcotest.run "ildp_dbt"
+    [
+      ("machine", Test_machine.suite);
+      ("alpha", Test_alpha.suite);
+      ("semantics", Test_semantics.suite);
+      ("accisa", Test_accisa.suite);
+      ("core", Test_core.suite);
+      ("translate", Test_translate.suite);
+      ("random", Test_random.suite);
+      ("uarch", Test_uarch.suite);
+      ("minic", Test_minic.suite);
+      ("workloads", Test_workloads.suite);
+      ("harness", Test_harness.suite);
+    ]

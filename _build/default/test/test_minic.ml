@@ -1,0 +1,315 @@
+(* MiniC compiler tests: compiled programs run on the Alpha interpreter and
+   must produce the expected outputs; div/mod are checked against OCaml
+   semantics by property; compiled workloads must also survive the DBT. *)
+
+let check = Alcotest.check
+
+let run ?(fuel = 20_000_000) src =
+  let prog = Minic.compile src in
+  let st = Alpha.Interp.create prog in
+  match Alpha.Interp.run ~fuel st with
+  | Alpha.Interp.Exit c -> (c, Alpha.Interp.output st)
+  | Fault tr -> Alcotest.failf "fault: %a" Alpha.Interp.pp_trap tr
+  | Out_of_fuel -> Alcotest.fail "out of fuel"
+
+let expect ?(code = 0) name src out =
+  let c, o = run src in
+  check Alcotest.int (name ^ " exit") code c;
+  check Alcotest.string (name ^ " output") out o
+
+let test_arith () =
+  expect "arith"
+    {|
+    int main() {
+      print 2 + 3 * 4;
+      print (2 + 3) * 4;
+      print 10 - 7;
+      print 5 << 2;
+      print -40 >> 3;
+      print 12 & 10;
+      print 12 | 10;
+      print 12 ^ 10;
+      print ~0;
+      print -(5);
+      return 0;
+    }
+    |}
+    "14\n20\n3\n20\n-5\n8\n14\n6\n-1\n-5\n"
+
+let test_compare_logic () =
+  expect "compare"
+    {|
+    int main() {
+      print 3 < 4;
+      print 4 < 3;
+      print 3 <= 3;
+      print 4 > 3;
+      print 3 >= 4;
+      print 3 == 3;
+      print 3 != 3;
+      print !5;
+      print !0;
+      print 1 && 2;
+      print 1 && 0;
+      print 0 || 3;
+      print 0 || 0;
+      return 0;
+    }
+    |}
+    "1\n0\n1\n1\n0\n1\n0\n0\n1\n1\n0\n1\n0\n"
+
+let test_short_circuit () =
+  (* the right operand must not execute when short-circuited *)
+  expect "short circuit"
+    {|
+    int g = 0;
+    int touch() { g = g + 1; return 1; }
+    int main() {
+      int a = 0 && touch();
+      int b = 1 || touch();
+      print g;
+      print a + b;
+      return 0;
+    }
+    |}
+    "0\n1\n"
+
+let test_control_flow () =
+  expect "control flow"
+    {|
+    int main() {
+      int s = 0;
+      int i;
+      for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+      print s;
+      while (s > 40) { s = s - 7; }
+      print s;
+      if (s == 34) { print 111; } else { print 222; }
+      int k = 0;
+      while (1) {
+        k = k + 1;
+        if (k == 5) { break; }
+      }
+      print k;
+      return 0;
+    }
+    |}
+    "55\n34\n111\n5\n"
+
+let test_functions_recursion () =
+  expect "fib"
+    {|
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() {
+      print fib(15);
+      return 0;
+    }
+    |}
+    "610\n"
+
+let test_args_and_saves () =
+  (* six arguments, call inside expression with live temporaries *)
+  expect "args"
+    {|
+    int six(int a, int b, int c, int d, int e, int f) {
+      return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+    }
+    int two(int x, int y) { return x * 10 + y; }
+    int main() {
+      print six(1, 2, 3, 4, 5, 6);
+      print 1000 + two(3, 7) * 2;
+      print two(two(1, 2), two(3, 4));
+      return 0;
+    }
+    |}
+    "91\n1074\n154\n"
+
+let test_globals_arrays () =
+  expect "arrays"
+    {|
+    int total = 0;
+    int a[10];
+    byte msg[16] = "hi\n";
+    int main() {
+      int i;
+      for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+      for (i = 0; i < 10; i = i + 1) { total = total + a[i]; }
+      print total;
+      putc msg[0]; putc msg[1]; putc msg[2];
+      return 0;
+    }
+    |}
+    "285\nhi\n"
+
+let test_switch_jump_table () =
+  expect "switch"
+    {|
+    int classify(int x) {
+      switch (x) {
+        case 0: return 100;
+        case 1: return 200;
+        case 2: return 300;
+        case 3: return 400;
+        default: return 999;
+      }
+      return 0;
+    }
+    int main() {
+      print classify(0);
+      print classify(2);
+      print classify(3);
+      print classify(7);
+      return 0;
+    }
+    |}
+    "100\n300\n400\n999\n"
+
+let test_function_table () =
+  expect "functab"
+    {|
+    int inc(int x) { return x + 1; }
+    int dbl(int x) { return x * 2; }
+    int sqr(int x) { return x * x; }
+    func ops[] = { inc, dbl, sqr };
+    int main() {
+      int i;
+      int v = 3;
+      for (i = 0; i < 3; i = i + 1) {
+        v = ops[i](v);
+      }
+      print v;
+      return 0;
+    }
+    |}
+    "64\n"
+
+let test_div_mod_basic () =
+  expect "divmod"
+    {|
+    int main() {
+      print 17 / 5;
+      print 17 % 5;
+      print -17 / 5;
+      print -17 % 5;
+      print 17 / -5;
+      print 17 % -5;
+      print 0 / 3;
+      print 100 % 10;
+      return 0;
+    }
+    |}
+    "3\n2\n-3\n-2\n-3\n2\n0\n0\n"
+
+let prop_div_matches_ocaml =
+  QCheck.Test.make ~name:"minic / and % match OCaml Int64 semantics" ~count:40
+    QCheck.(pair (int_range (-100000) 100000) (int_range 1 999))
+    (fun (a, b) ->
+      let src =
+        Printf.sprintf
+          "int main() { print %d / %d; print %d %% %d; return 0; }" a b a b
+      in
+      let _, out = run src in
+      out
+      = Printf.sprintf "%Ld\n%Ld\n"
+          (Int64.div (Int64.of_int a) (Int64.of_int b))
+          (Int64.rem (Int64.of_int a) (Int64.of_int b)))
+
+let test_exit_code () =
+  let c, _ = run "int main() { return 42; }" in
+  check Alcotest.int "exit code" 42 c
+
+let test_locals_overflow_to_stack () =
+  expect "many locals"
+    {|
+    int main() {
+      int a = 1; int b = 2; int c = 3; int d = 4; int e = 5; int f = 6;
+      int g = 7; int h = 8; int i = 9; int j = 10; int k = 11; int l = 12;
+      print a + b + c + d + e + f + g + h + i + j + k + l;
+      l = l * 2;
+      print l;
+      return 0;
+    }
+    |}
+    "78\n24\n"
+
+let test_errors_rejected () =
+  let reject src =
+    match Minic.compile src with
+    | exception Minic.Error _ -> ()
+    | _ -> Alcotest.failf "expected rejection of %S" src
+  in
+  reject "int main() { return x; }" (* undefined var *);
+  reject "int main() { return f(1); }" (* undefined function *);
+  reject "int f(int a) { return a; } int main() { return f(); }" (* arity *);
+  reject "int main() { int a = 1; int a = 2; return a; }" (* dup local *);
+  reject "int f() { return 0; }" (* missing main *)
+
+(* compiled code must also run correctly under the DBT, all modes *)
+let test_minic_through_dbt () =
+  let src =
+    {|
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int hash(int x) { return (x * 2654435761) % 1000003; }
+    int main() {
+      int i;
+      int acc = 0;
+      for (i = 0; i < 50; i = i + 1) {
+        switch (i % 4) {
+          case 0: acc = acc + hash(i); break;
+          case 1: acc = acc - i; break;
+          case 2: acc = acc ^ (i << 3); break;
+          case 3: acc = acc + fib(i % 10); break;
+        }
+      }
+      print acc;
+      return 0;
+    }
+    |}
+  in
+  let prog = Minic.compile src in
+  let ref_st = Alpha.Interp.create prog in
+  (match Alpha.Interp.run ~fuel:20_000_000 ref_st with
+  | Alpha.Interp.Exit 0 -> ()
+  | _ -> Alcotest.fail "reference run failed");
+  let expected = Alpha.Interp.output ref_st in
+  List.iter
+    (fun (isa, chaining) ->
+      let cfg = { Core.Config.default with isa; chaining } in
+      let vm = Core.Vm.create ~cfg ~kind:Core.Vm.Acc prog in
+      (match Core.Vm.run ~fuel:20_000_000 vm with
+      | Core.Vm.Exit 0 -> ()
+      | _ -> Alcotest.failf "VM run failed");
+      check Alcotest.string
+        (Printf.sprintf "dbt output %s/%s" (Core.Config.isa_name isa)
+           (Core.Config.chaining_name chaining))
+        expected (Core.Vm.output vm))
+    [
+      (Core.Config.Basic, Core.Config.Sw_pred_ras);
+      (Core.Config.Modified, Core.Config.Sw_pred_ras);
+      (Core.Config.Modified, Core.Config.No_pred);
+    ]
+
+let suite =
+  [
+    ("arithmetic and bitwise", `Quick, test_arith);
+    ("comparisons and logic", `Quick, test_compare_logic);
+    ("short-circuit evaluation", `Quick, test_short_circuit);
+    ("control flow", `Quick, test_control_flow);
+    ("recursion (fib)", `Quick, test_functions_recursion);
+    ("six args + nested calls", `Quick, test_args_and_saves);
+    ("globals, arrays, byte arrays", `Quick, test_globals_arrays);
+    ("switch compiles to jump table", `Quick, test_switch_jump_table);
+    ("function tables (indirect calls)", `Quick, test_function_table);
+    ("division and modulo", `Quick, test_div_mod_basic);
+    ("exit code", `Quick, test_exit_code);
+    ("locals overflow to stack", `Quick, test_locals_overflow_to_stack);
+    ("bad programs rejected", `Quick, test_errors_rejected);
+    ("minic through the DBT", `Quick, test_minic_through_dbt);
+    QCheck_alcotest.to_alcotest prop_div_matches_ocaml;
+  ]

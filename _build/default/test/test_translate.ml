@@ -1,0 +1,269 @@
+(* White-box tests of the translator and translation cache: dispatch code
+   shape, exit patching, PEI tables, strand/accumulator invariants over
+   emitted fragments, and the straightening backend's register discipline. *)
+
+open Core
+
+let check = Alcotest.check
+
+let vm_for ?(isa = Config.Modified) ?(chaining = Config.Sw_pred_ras)
+    ?(n_accs = 4) ?(hot_threshold = 50) src =
+  let prog = Alpha.Assembler.assemble src in
+  let cfg = { Config.default with isa; chaining; n_accs; hot_threshold } in
+  let vm = Vm.create ~cfg ~kind:Vm.Acc prog in
+  (match Vm.run ~fuel:5_000_000 vm with
+  | Vm.Exit _ -> ()
+  | Fault tr -> Alcotest.failf "fault: %a" Alpha.Interp.pp_trap tr
+  | Out_of_fuel -> Alcotest.fail "fuel");
+  (vm, Option.get (Vm.acc_ctx vm), Option.get (Vm.acc_exec vm))
+
+let simple_loop =
+  {|
+  .text
+_start:
+  clr   t0
+  ldiq  t1, 400
+loop:
+  addq  t0, t1, t0
+  subq  t1, 1, t1
+  bne   t1, loop
+  mov   t0, a0
+  call_pal 2
+  clr   v0
+  call_pal 0
+  |}
+
+(* ---------- dispatch code ---------- *)
+
+let test_dispatch_shape () =
+  let _, ctx, _ = vm_for simple_loop in
+  (* the dispatch occupies the first slots, ends in call-translator, and is
+     on the scale of the paper's "20 instructions" *)
+  check Alcotest.bool "dispatch at slot 0" true (ctx.dispatch_slot = 0);
+  let rec find_miss s =
+    match Tcache.Acc.get ctx.tc s with
+    | Accisa.Insn.Call_xlate _ -> s
+    | _ -> find_miss (s + 1)
+  in
+  let miss = find_miss 0 in
+  check Alcotest.bool
+    (Printf.sprintf "dispatch length %d in [15,30]" (miss + 1))
+    true
+    (miss + 1 >= 15 && miss + 1 <= 30);
+  (* it contains the two probe loads and the two indirect jumps *)
+  let loads = ref 0 and jumps = ref 0 in
+  for s = 0 to miss do
+    match Tcache.Acc.get ctx.tc s with
+    | Accisa.Insn.Load _ -> incr loads
+    | Accisa.Insn.Jmp_ind _ -> incr jumps
+    | _ -> ()
+  done;
+  check Alcotest.bool "probe loads" true (!loads >= 4);
+  check Alcotest.int "two hit jumps" 2 !jumps
+
+(* ---------- patching ---------- *)
+
+let test_loop_back_edge_patched () =
+  (* the loop fragment's backward branch must be a direct Bc to its own
+     entry (installed before emission, so patched immediately) *)
+  let _, ctx, _ = vm_for simple_loop in
+  let frag =
+    List.find (fun (f : Tcache.frag) -> f.exec_count > 100)
+      (Tcache.Acc.fragments ctx.tc)
+  in
+  let self_branch = ref false in
+  for s = frag.entry_slot to frag.entry_slot + frag.n_slots - 1 do
+    match Tcache.Acc.get ctx.tc s with
+    | Accisa.Insn.Bc { target; _ } when target = frag.entry_slot ->
+      self_branch := true
+    | _ -> ()
+  done;
+  check Alcotest.bool "self loop branch patched" true !self_branch
+
+let test_cold_exits_stay_call_translator () =
+  (* the loop's fall-through exit goes to code executed once (not hot), so
+     it must remain a call-translator exit *)
+  let _, ctx, _ = vm_for simple_loop in
+  let frag =
+    List.find (fun (f : Tcache.frag) -> f.exec_count > 100)
+      (Tcache.Acc.fragments ctx.tc)
+  in
+  let cold_exit = ref false in
+  for s = frag.entry_slot to frag.entry_slot + frag.n_slots - 1 do
+    match Tcache.Acc.get ctx.tc s with
+    | Accisa.Insn.Call_xlate _ | Accisa.Insn.Call_xlate_cond _ ->
+      cold_exit := true
+    | _ -> ()
+  done;
+  check Alcotest.bool "cold exit unpatched" true !cold_exit
+
+(* ---------- PEI tables ---------- *)
+
+let test_pei_tables_cover_memory_ops () =
+  let _, ctx, _ =
+    vm_for
+      {|
+      .text
+  _start:
+      la    s0, arr
+      ldiq  s1, 300
+      clr   t0
+  loop:
+      s8addq t0, s0, t1
+      ldq   t2, 0(t1)
+      addq  t2, 1, t2
+      stq   t2, 0(t1)
+      addq  t0, 1, t0
+      and   t0, 63, t0
+      subq  s1, 1, s1
+      bne   s1, loop
+      clr   v0
+      call_pal 0
+      .data
+      .align 8
+  arr:
+      .space 512
+      |}
+  in
+  (* every Load/Store slot must have a PEI record with the right V-PC *)
+  List.iter
+    (fun (f : Tcache.frag) ->
+      for s = f.entry_slot to f.entry_slot + f.n_slots - 1 do
+        match Tcache.Acc.get ctx.tc s with
+        | Accisa.Insn.Load _ | Accisa.Insn.Store _ -> (
+          match Tcache.Acc.pei_at ctx.tc s with
+          | None -> Alcotest.failf "memory op at slot %d has no PEI entry" s
+          | Some pei ->
+            check Alcotest.bool "pei v_pc in text" true
+              (pei.pei_v_pc >= Alpha.Program.text_base))
+        | _ -> ()
+      done)
+    (Tcache.Acc.fragments ctx.tc)
+
+(* ---------- strand invariants over emitted code ---------- *)
+
+let test_strand_continuity () =
+  (* walking any fragment: an instruction reading accumulator A must be
+     preceded (within the fragment) by a write of A with no intervening
+     write of A by a different strand — i.e. the accumulator is live *)
+  let _, ctx, _ = vm_for ~isa:Config.Basic simple_loop in
+  List.iter
+    (fun (f : Tcache.frag) ->
+      let live = Array.make 8 false in
+      for s = f.entry_slot to f.entry_slot + f.n_slots - 1 do
+        let insn = Tcache.Acc.get ctx.tc s in
+        (match Accisa.Insn.acc_read insn with
+        | Some a ->
+          if not live.(a) then
+            Alcotest.failf "slot %d reads dead accumulator A%d: %s" s a
+              (Accisa.Disasm.to_string insn)
+        | None -> ());
+        match Accisa.Insn.acc_written insn with
+        | Some a -> live.(a) <- true
+        | None -> ()
+      done)
+    (Tcache.Acc.fragments ctx.tc)
+
+let test_accumulator_pressure_spills () =
+  (* with 2 accumulators, the accumulator-pressure kernel must spill *)
+  let src =
+    {|
+    .text
+_start:
+    ldiq t0, 1
+    ldiq t1, 2
+    ldiq t2, 3
+    ldiq t3, 4
+    ldiq s0, 200
+loop:
+    addq t0, t1, t0
+    addq t1, t2, t1
+    addq t2, t3, t2
+    addq t3, t0, t3
+    mulq t0, 3, t4
+    xor  t4, t2, t4
+    subq s0, 1, s0
+    bne  s0, loop
+    addq t0, t4, a0
+    call_pal 2
+    clr  v0
+    call_pal 0
+    |}
+  in
+  let _, ctx2, _ = vm_for ~n_accs:2 src in
+  let _, ctx8, _ = vm_for ~n_accs:8 src in
+  check Alcotest.bool
+    (Printf.sprintf "2 accs spill more (%d > %d)" ctx2.n_spills ctx8.n_spills)
+    true
+    (ctx2.n_spills >= ctx8.n_spills)
+
+(* ---------- chaining code volume by mode ---------- *)
+
+let test_chaining_mode_costs () =
+  let call_heavy =
+    {|
+    .text
+_start:
+    ldiq s0, 300
+    clr  s1
+loop:
+    mov  s0, a0
+    bsr  ra, f
+    addq s1, v0, s1
+    subq s0, 1, s0
+    bne  s0, loop
+    mov  s1, a0
+    call_pal 2
+    clr  v0
+    call_pal 0
+f:
+    addq a0, 3, v0
+    ret
+    |}
+  in
+  let chain_frac chaining =
+    let _, _, ex = vm_for ~chaining call_heavy in
+    float_of_int ex.stats.by_class.(2) /. float_of_int ex.stats.i_exec
+  in
+  let np = chain_frac Config.No_pred in
+  let sw = chain_frac Config.Sw_pred_no_ras in
+  let ras = chain_frac Config.Sw_pred_ras in
+  check Alcotest.bool
+    (Printf.sprintf "chain volume no_pred %.3f > sw_pred %.3f > ras %.3f" np sw ras)
+    true
+    (np > sw && sw > ras)
+
+(* ---------- straightening backend register discipline ---------- *)
+
+let test_straighten_rejects_reserved_registers () =
+  let prog =
+    Alpha.Assembler.assemble
+      {|
+      .text
+  _start:
+      clr   at        ; guest uses the VM-reserved assembler temp
+      ldiq  t1, 200
+  loop:
+      addq  at, t1, at
+      subq  t1, 1, t1
+      bne   t1, loop
+      clr   v0
+      call_pal 0
+      |}
+  in
+  let vm = Vm.create ~kind:Vm.Straight_only prog in
+  match Vm.run ~fuel:1_000_000 vm with
+  | exception Straighten.Reserved_register _ -> ()
+  | _ -> Alcotest.fail "expected Reserved_register"
+
+let suite =
+  [
+    ("dispatch code shape", `Quick, test_dispatch_shape);
+    ("loop back edge patched to Bc", `Quick, test_loop_back_edge_patched);
+    ("cold exits stay call-translator", `Quick, test_cold_exits_stay_call_translator);
+    ("PEI tables cover memory ops", `Quick, test_pei_tables_cover_memory_ops);
+    ("accumulator liveness in fragments", `Quick, test_strand_continuity);
+    ("pressure forces spills", `Quick, test_accumulator_pressure_spills);
+    ("chaining cost ordering", `Quick, test_chaining_mode_costs);
+    ("straightener rejects reserved regs", `Quick, test_straighten_rejects_reserved_registers);
+  ]
