@@ -17,16 +17,63 @@ let experiment = ref None
 let bechamel = ref false
 let list_only = ref false
 let csv_dir = ref None
+let jobs = ref 0 (* 0 = Domain.recommended_domain_count () *)
+let bench_json = ref None
 
 let args =
   [
     ("-e", Arg.String (fun s -> experiment := Some s), "ID run one experiment");
     ("--scale", Arg.Set_int scale, "N workload scale factor (default 1)");
+    ("--jobs", Arg.Set_int jobs,
+     "N simulation worker domains (default: recommended domain count)");
+    ("--bench-json", Arg.String (fun f -> bench_json := Some f),
+     "FILE write per-experiment wall-clock seconds as JSON");
     ("--bechamel", Arg.Set bechamel, " run Bechamel microbenchmarks");
     ("--csv", Arg.String (fun d -> csv_dir := Some d),
      "DIR export per-benchmark series as CSV files");
     ("--list", Arg.Set list_only, " list experiment ids");
   ]
+
+let effective_jobs () =
+  if !jobs > 0 then !jobs else Domain.recommended_domain_count ()
+
+(* ---------- per-experiment wall-clock JSON ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json path ~jobs ~scale timings =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "cannot write --bench-json output: %s\n" msg;
+      exit 1
+  in
+  let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 timings in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"ildp-dbt-bench/1\",\n  \"jobs\": %d,\n  \
+     \"recommended_jobs\": %d,\n  \"scale\": %d,\n  \"experiments\": [\n" jobs
+    (Domain.recommended_domain_count ())
+    scale;
+  List.iteri
+    (fun i (id, secs) ->
+      Printf.fprintf oc "    { \"id\": \"%s\", \"seconds\": %.3f }%s\n"
+        (json_escape id) secs
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ],\n  \"total_seconds\": %.3f\n}\n" total;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ---------- Bechamel microbenchmarks ---------- *)
 
@@ -115,20 +162,53 @@ let run_bechamel () =
     results;
   List.iter print_endline (List.sort compare !rows)
 
+(* Plan -> parallel cache warm -> serial render. The render functions only
+   read memoised results, so console output is byte-identical at any job
+   count; rows are formatted in the same order as a serial run. *)
+let run_experiments fmt exps ~scale =
+  let jobs = effective_jobs () in
+  Harness.Pool.with_pool ~jobs (fun pool ->
+      let timings =
+        List.map
+          (fun (e : Harness.Experiments.exp) ->
+            let t0 = Unix.gettimeofday () in
+            Harness.Runner.prewarm ~pool (e.plan ~scale);
+            e.render fmt ~scale;
+            Format.pp_print_flush fmt ();
+            (e.id, Unix.gettimeofday () -. t0))
+          exps
+      in
+      Option.iter
+        (fun path -> write_bench_json path ~jobs ~scale timings)
+        !bench_json)
+
 let () =
   Arg.parse args (fun _ -> ()) "ILDP DBT benchmark harness";
   if !list_only then
     List.iter
-      (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc)
+      (fun (e : Harness.Experiments.exp) -> Printf.printf "%-8s %s\n" e.id e.desc)
       Harness.Experiments.all
   else if !bechamel then run_bechamel ()
   else if !csv_dir <> None then begin
     let dir = Option.get !csv_dir in
+    (* warm the runs behind the exported series in parallel, then export *)
+    Harness.Pool.with_pool ~jobs:(effective_jobs ()) (fun pool ->
+        let plans =
+          List.concat_map
+            (fun id ->
+              match Harness.Experiments.find id with
+              | Some e -> e.plan ~scale:!scale
+              | None -> [])
+            [ "table2"; "fig4"; "fig5"; "fig8"; "fig9" ]
+        in
+        Harness.Runner.prewarm ~pool plans);
     let files = Harness.Csv.export dir ~scale:!scale in
     List.iter (Printf.printf "wrote %s\n") files
   end
   else begin
     let fmt = Format.std_formatter in
+    (* note: the job count is deliberately absent from the banner so that
+       output at any --jobs setting is byte-identical *)
     Format.fprintf fmt
       "ILDP DBT evaluation - %d workloads, scale %d@.(workloads: %s)@."
       (List.length Workloads.all) !scale
@@ -136,10 +216,10 @@ let () =
     (match !experiment with
     | Some id -> (
       match Harness.Experiments.find id with
-      | Some (_, _, f) -> f fmt ~scale:!scale
+      | Some e -> run_experiments fmt [ e ] ~scale:!scale
       | None ->
         Format.fprintf fmt "unknown experiment %S; use --list@." id;
         exit 1)
-    | None -> Harness.Experiments.run_all fmt ~scale:!scale);
+    | None -> run_experiments fmt Harness.Experiments.all ~scale:!scale);
     Format.pp_print_flush fmt ()
   end

@@ -1,11 +1,16 @@
-(* ildp_run: execute a workload (or a MiniC / Alpha-assembly file) under any
+(* ildp_run: execute workloads (or MiniC / Alpha-assembly files) under any
    of the simulated systems and report statistics.
 
      ildp_run gzip                         # DBT, modified ISA, dual-RAS
      ildp_run gzip --isa basic --ildp      # basic ISA + ILDP timing
      ildp_run prog.mc --interp             # plain interpretation
      ildp_run prog.s --straight --ooo      # straightened Alpha + OoO timing
-     ildp_run gzip --disasm                # dump translated fragments *)
+     ildp_run gzip --disasm                # dump translated fragments
+     ildp_run gzip mcf vortex --jobs 3     # several programs in parallel
+
+   With several programs, each run is an independent job on a
+   Harness.Pool worker domain; reports are buffered and printed in
+   command-line order, so output does not depend on --jobs. *)
 
 open Cmdliner
 
@@ -30,13 +35,17 @@ let load_program src scale =
            (List.map (fun (w : Workloads.t) -> w.name) Workloads.all));
       exit 2
 
-let show_outcome = function
-  | Core.Vm.Exit c -> Printf.printf "exit code      : %d\n" c
-  | Core.Vm.Fault tr -> Format.printf "trap           : %a@." Alpha.Interp.pp_trap tr
-  | Core.Vm.Out_of_fuel -> Printf.printf "stopped        : out of fuel\n"
+let show_outcome buf = function
+  | Core.Vm.Exit c -> Printf.bprintf buf "exit code      : %d\n" c
+  | Core.Vm.Fault tr ->
+    Printf.bprintf buf "trap           : %s\n"
+      (Format.asprintf "%a" Alpha.Interp.pp_trap tr)
+  | Core.Vm.Out_of_fuel -> Printf.bprintf buf "stopped        : out of fuel\n"
 
-let run src scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
-    disasm fuel =
+(* Run one program; the whole report goes into [buf] so several runs can
+   proceed on worker domains without interleaving their output. *)
+let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
+    n_pe comm disasm fuel =
   let prog = load_program src scale in
   let isa = if isa = "basic" then Core.Config.Basic else Core.Config.Modified in
   let chaining =
@@ -53,16 +62,18 @@ let run src scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
       | Some m -> Alpha.Interp.run_ev ~fuel st ~sink:(Uarch.Ooo.feed m)
       | None -> Alpha.Interp.run ~fuel st
     in
-    print_string (Alpha.Interp.output st);
+    Buffer.add_string buf (Alpha.Interp.output st);
     (match outcome with
-    | Alpha.Interp.Exit c -> Printf.printf "exit code      : %d\n" c
-    | Fault tr -> Format.printf "trap           : %a@." Alpha.Interp.pp_trap tr
-    | Out_of_fuel -> Printf.printf "stopped        : out of fuel\n");
-    Printf.printf "V-ISA insns    : %d\n" st.icount;
+    | Alpha.Interp.Exit c -> Printf.bprintf buf "exit code      : %d\n" c
+    | Fault tr ->
+      Printf.bprintf buf "trap           : %s\n"
+        (Format.asprintf "%a" Alpha.Interp.pp_trap tr)
+    | Out_of_fuel -> Printf.bprintf buf "stopped        : out of fuel\n");
+    Printf.bprintf buf "V-ISA insns    : %d\n" st.icount;
     Option.iter
       (fun m ->
-        Printf.printf "cycles         : %d\n" (Uarch.Ooo.cycles m);
-        Printf.printf "V-ISA IPC      : %.3f\n" (Uarch.Ooo.v_ipc m))
+        Printf.bprintf buf "cycles         : %d\n" (Uarch.Ooo.cycles m);
+        Printf.bprintf buf "V-ISA IPC      : %.3f\n" (Uarch.Ooo.v_ipc m))
       m
   end
   else begin
@@ -91,40 +102,40 @@ let run src scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
       | None, None -> None
     in
     let outcome = Core.Vm.run ?sink ?boundary ~fuel vm in
-    print_string (Core.Vm.output vm);
-    show_outcome outcome;
-    Printf.printf "mode           : %s %s/%s\n"
+    Buffer.add_string buf (Core.Vm.output vm);
+    show_outcome buf outcome;
+    Printf.bprintf buf "mode           : %s %s/%s\n"
       (if straight then "straightened-Alpha" else "accumulator-ISA")
       (Core.Config.isa_name isa)
       (Core.Config.chaining_name chaining);
-    Printf.printf "interp insns   : %d\n" vm.interp_insns;
-    Printf.printf "superblocks    : %d\n" vm.superblocks;
+    Printf.bprintf buf "interp insns   : %d\n" vm.interp_insns;
+    Printf.bprintf buf "superblocks    : %d\n" vm.superblocks;
     (match Core.Vm.acc_exec vm with
     | Some ex ->
-      Printf.printf "I-ISA executed : %d (%d copy, %d chain)\n" ex.stats.i_exec
-        ex.stats.by_class.(1) ex.stats.by_class.(2);
-      Printf.printf "V-ISA in frags : %d\n" ex.stats.alpha_retired;
+      Printf.bprintf buf "I-ISA executed : %d (%d copy, %d chain)\n"
+        ex.stats.i_exec ex.stats.by_class.(1) ex.stats.by_class.(2);
+      Printf.bprintf buf "V-ISA in frags : %d\n" ex.stats.alpha_retired;
       if ex.stats.alpha_retired > 0 then
-        Printf.printf "expansion      : %.3f\n"
+        Printf.bprintf buf "expansion      : %.3f\n"
           (float_of_int ex.stats.i_exec /. float_of_int ex.stats.alpha_retired)
     | None -> ());
     (match Core.Vm.straight_exec vm with
     | Some ex ->
-      Printf.printf "translated exec: %d\n" ex.stats.i_exec;
-      Printf.printf "V-ISA in frags : %d\n" ex.stats.alpha_retired
+      Printf.bprintf buf "translated exec: %d\n" ex.stats.i_exec;
+      Printf.bprintf buf "V-ISA in frags : %d\n" ex.stats.alpha_retired
     | None -> ());
     (match Core.Vm.acc_ctx vm with
     | Some ctx ->
-      Printf.printf "DBT work/insn  : %.0f\n"
+      Printf.bprintf buf "DBT work/insn  : %.0f\n"
         (Core.Cost.per_translated_insn ctx.cost);
       if disasm then begin
-        Printf.printf "\n--- translation cache ---\n";
+        Printf.bprintf buf "\n--- translation cache ---\n";
         List.iter
           (fun (f : Core.Tcache.frag) ->
-            Printf.printf "fragment @%#x (entered %d times):\n" f.v_start
+            Printf.bprintf buf "fragment @%#x (entered %d times):\n" f.v_start
               f.exec_count;
             for s = f.entry_slot to f.entry_slot + f.n_slots - 1 do
-              Printf.printf "  %5d: %s\n" s
+              Printf.bprintf buf "  %5d: %s\n" s
                 (Accisa.Disasm.to_string (Core.Tcache.Acc.get ctx.tc s))
             done)
           (Core.Tcache.Acc.fragments ctx.tc)
@@ -132,21 +143,46 @@ let run src scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
     | None -> ());
     Option.iter
       (fun m ->
-        Printf.printf "cycles         : %d\n" (Uarch.Ildp.cycles m);
-        Printf.printf "V-ISA IPC      : %.3f\n" (Uarch.Ildp.v_ipc m);
-        Printf.printf "native I-IPC   : %.3f\n" (Uarch.Ildp.ipc m))
+        Printf.bprintf buf "cycles         : %d\n" (Uarch.Ildp.cycles m);
+        Printf.bprintf buf "V-ISA IPC      : %.3f\n" (Uarch.Ildp.v_ipc m);
+        Printf.bprintf buf "native I-IPC   : %.3f\n" (Uarch.Ildp.ipc m))
       ildp_m;
     Option.iter
       (fun m ->
-        Printf.printf "cycles         : %d\n" (Uarch.Ooo.cycles m);
-        Printf.printf "V-ISA IPC      : %.3f\n" (Uarch.Ooo.v_ipc m))
+        Printf.bprintf buf "cycles         : %d\n" (Uarch.Ooo.cycles m);
+        Printf.bprintf buf "V-ISA IPC      : %.3f\n" (Uarch.Ooo.v_ipc m))
       ooo_m
   end
 
+let run srcs scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
+    disasm fuel jobs =
+  let report src =
+    let buf = Buffer.create 1024 in
+    run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
+      n_pe comm disasm fuel;
+    Buffer.contents buf
+  in
+  match srcs with
+  | [ src ] -> print_string (report src)
+  | srcs ->
+    (* one job per program; reports print in command-line order *)
+    let jobs =
+      if jobs > 0 then jobs
+      else min (List.length srcs) (Domain.recommended_domain_count ())
+    in
+    Harness.Pool.with_pool ~jobs (fun pool ->
+        srcs
+        |> List.map (fun src ->
+               (src, Harness.Pool.submit pool (fun () -> report src)))
+        |> List.iter (fun (src, fut) ->
+               Printf.printf "--- %s ---\n" src;
+               print_string (Harness.Pool.await fut)))
+
 let cmd =
-  let src =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
-           ~doc:"Workload name, or a .mc (MiniC) / .s (Alpha assembly) file.")
+  let srcs =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PROGRAM"
+           ~doc:"Workload names, or .mc (MiniC) / .s (Alpha assembly) files. \
+                 Several programs run in parallel (see --jobs).")
   in
   let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale.") in
   let isa =
@@ -170,10 +206,15 @@ let cmd =
   let fuel =
     Arg.(value & opt int 200_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
   in
+  let jobs =
+    Arg.(value & opt int 0 & info [ "jobs" ]
+           ~doc:"Worker domains when running several programs (default: \
+                 recommended domain count).")
+  in
   Cmd.v
     (Cmd.info "ildp_run" ~doc:"Run programs under the ILDP co-designed VM")
     Term.(
-      const run $ src $ scale $ isa $ chaining $ n_accs $ interp $ straight
-      $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel)
+      const run $ srcs $ scale $ isa $ chaining $ n_accs $ interp $ straight
+      $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel $ jobs)
 
 let () = exit (Cmd.eval cmd)

@@ -306,18 +306,19 @@ let fig8 fmt ~scale =
 
 (* ---------- Fig. 9: IPC over machine parameters ---------- *)
 
+let fig9_configs =
+  [
+    ("8 accs, 8PE 32KB c0", 8, ildp_base 8 0 `Big 8);
+    ("4 accs, 8PE 32KB c0", 4, ildp_base 8 0 `Big 4);
+    ("4 accs, 8PE  8KB c0", 4, ildp_base 8 0 `Small 4);
+    ("4 accs, 8PE  8KB c2", 4, ildp_base 8 2 `Small 4);
+    ("4 accs, 6PE 32KB c0", 4, ildp_base 6 0 `Big 4);
+    ("4 accs, 4PE 32KB c0", 4, ildp_base 4 0 `Big 4);
+  ]
+
 let fig9 fmt ~scale =
   header fmt "Fig. 9: ILDP (modified ISA) V-IPC over machine parameters";
-  let configs =
-    [
-      ("8 accs, 8PE 32KB c0", 8, ildp_base 8 0 `Big 8);
-      ("4 accs, 8PE 32KB c0", 4, ildp_base 8 0 `Big 4);
-      ("4 accs, 8PE  8KB c0", 4, ildp_base 8 0 `Small 4);
-      ("4 accs, 8PE  8KB c2", 4, ildp_base 8 2 `Small 4);
-      ("4 accs, 6PE 32KB c0", 4, ildp_base 6 0 `Big 4);
-      ("4 accs, 4PE 32KB c0", 4, ildp_base 4 0 `Big 4);
-    ]
-  in
+  let configs = fig9_configs in
   pf fmt "%-10s |" "benchmark";
   List.iter (fun (n, _, _) -> pf fmt " %19s |" n) configs;
   pf fmt "@.";
@@ -498,27 +499,137 @@ let abl_linking fmt ~scale =
     (gm (fun (_, _, _, x, _) -> x))
     (gm (fun (_, _, _, _, x) -> x))
 
+(* ---------- run plans ----------
+
+   Each experiment declares the full set of simulation runs its render
+   needs, as Runner.req values. The scheduler (bench/main.exe --jobs N)
+   warms every cache in parallel from the plan, then calls the render
+   function, which only hits warm caches — so console/CSV output is
+   byte-identical at any job count. A plan that misses a run is not a
+   correctness bug (the render simply computes it on demand, serially);
+   it only costs parallelism. *)
+
+let all_w f = List.concat_map f Workloads.all
+
+let plan_none ~scale:_ = []
+
+let plan_table2 ~scale =
+  all_w (fun w ->
+      [
+        Runner.req_acc ~isa:Core.Config.Basic ~scale w;
+        Runner.req_acc ~isa:Core.Config.Modified ~scale w;
+      ])
+
+let plan_fig4 ~scale =
+  all_w (fun w ->
+      Runner.req_original ~scale w
+      :: List.map
+           (fun ch -> Runner.req_straight ~chaining:ch ~scale w)
+           [ Core.Config.No_pred; Core.Config.Sw_pred_no_ras; Core.Config.Sw_pred_ras ])
+
+let plan_fig5 ~scale =
+  all_w (fun w ->
+      List.map
+        (fun ch -> Runner.req_straight ~chaining:ch ~scale w)
+        [ Core.Config.No_pred; Core.Config.Sw_pred_no_ras; Core.Config.Sw_pred_ras ])
+
+let plan_fig6 ~scale =
+  all_w (fun w ->
+      [
+        Runner.req_original ~use_ras:false ~scale w;
+        Runner.req_straight ~chaining:Core.Config.Sw_pred_no_ras ~scale w;
+        Runner.req_original ~scale w;
+        Runner.req_straight ~chaining:Core.Config.Sw_pred_ras ~scale w;
+      ])
+
+let plan_fig7 ~scale =
+  all_w (fun w -> [ Runner.req_acc ~isa:Core.Config.Modified ~scale w ])
+
+let plan_fig8 ~scale =
+  let params = ildp_base 8 0 `Big 4 in
+  all_w (fun w ->
+      [
+        Runner.req_original ~scale w;
+        Runner.req_straight ~chaining:Core.Config.Sw_pred_ras ~scale w;
+        Runner.req_acc ~isa:Core.Config.Basic ~ildp:params ~scale w;
+        Runner.req_acc ~isa:Core.Config.Modified ~ildp:params ~scale w;
+      ])
+
+let plan_fig9 ~scale =
+  all_w (fun w ->
+      List.map
+        (fun (_, n_accs, params) ->
+          Runner.req_acc ~isa:Core.Config.Modified ~n_accs ~ildp:params ~scale w)
+        fig9_configs)
+
+let plan_sec42 = plan_fig7
+
+let plan_abl_fuse ~scale =
+  let params = ildp_base 8 0 `Big 4 in
+  all_w (fun w ->
+      [
+        Runner.req_acc ~ildp:params ~scale w;
+        Runner.req_acc ~fuse_mem:true ~ildp:params ~scale w;
+      ])
+
+let plan_abl_sbsize ~scale =
+  let params = ildp_base 8 0 `Big 4 in
+  all_w (fun w ->
+      List.map
+        (fun n -> Runner.req_acc ~max_superblock:n ~ildp:params ~scale w)
+        [ 50; 200; 400 ])
+
+let plan_abl_threshold ~scale =
+  all_w (fun w ->
+      List.map (fun thr -> Runner.req_acc ~hot_threshold:thr ~scale w) [ 10; 50; 200 ])
+
+let plan_abl_linking ~scale =
+  let params = ildp_base 8 0 `Big 4 in
+  all_w (fun w ->
+      [
+        Runner.req_acc ~ildp:params ~scale w;
+        Runner.req_acc ~stop_at_translated:true ~ildp:params ~scale w;
+      ])
+
 (* ---------- registry ---------- *)
 
-let all : (string * string * (Format.formatter -> scale:int -> unit)) list =
+type exp = {
+  id : string;
+  desc : string;
+  plan : scale:int -> Runner.req list;
+  render : Format.formatter -> scale:int -> unit;
+}
+
+let all : exp list =
   [
-    ("table1", "microarchitecture parameters", table1);
-    ("table2", "translated instruction statistics", table2);
-    ("fig4", "mispredictions per 1000 instructions", fig4);
-    ("fig5", "relative instruction count from chaining", fig5);
-    ("fig6", "code straightening and H/W RAS IPC", fig6);
-    ("fig7", "output register value usage", fig7);
-    ("fig8", "IPC comparison", fig8);
-    ("fig9", "IPC over machine parameters", fig9);
-    ("sec42", "translation overhead", sec42);
-    ("abl_fuse", "ablation: fused memory addressing (Sec 4.5)", abl_fuse);
-    ("abl_sbsize", "ablation: superblock size (Sec 4.1)", abl_sbsize);
-    ("abl_threshold", "ablation: hot threshold", abl_threshold);
-    ("abl_linking", "ablation: Dynamo fragment linking", abl_linking);
+    { id = "table1"; desc = "microarchitecture parameters"; plan = plan_none;
+      render = table1 };
+    { id = "table2"; desc = "translated instruction statistics";
+      plan = plan_table2; render = table2 };
+    { id = "fig4"; desc = "mispredictions per 1000 instructions";
+      plan = plan_fig4; render = fig4 };
+    { id = "fig5"; desc = "relative instruction count from chaining";
+      plan = plan_fig5; render = fig5 };
+    { id = "fig6"; desc = "code straightening and H/W RAS IPC";
+      plan = plan_fig6; render = fig6 };
+    { id = "fig7"; desc = "output register value usage"; plan = plan_fig7;
+      render = fig7 };
+    { id = "fig8"; desc = "IPC comparison"; plan = plan_fig8; render = fig8 };
+    { id = "fig9"; desc = "IPC over machine parameters"; plan = plan_fig9;
+      render = fig9 };
+    { id = "sec42"; desc = "translation overhead"; plan = plan_sec42;
+      render = sec42 };
+    { id = "abl_fuse"; desc = "ablation: fused memory addressing (Sec 4.5)";
+      plan = plan_abl_fuse; render = abl_fuse };
+    { id = "abl_sbsize"; desc = "ablation: superblock size (Sec 4.1)";
+      plan = plan_abl_sbsize; render = abl_sbsize };
+    { id = "abl_threshold"; desc = "ablation: hot threshold";
+      plan = plan_abl_threshold; render = abl_threshold };
+    { id = "abl_linking"; desc = "ablation: Dynamo fragment linking";
+      plan = plan_abl_linking; render = abl_linking };
   ]
 
 let run_all fmt ~scale =
-  List.iter (fun (_, _, f) -> f fmt ~scale) all
+  List.iter (fun e -> e.render fmt ~scale) all
 
-let find id =
-  List.find_opt (fun (i, _, _) -> i = id) all
+let find id = List.find_opt (fun e -> e.id = id) all

@@ -4,7 +4,15 @@
    collects the statistics the experiments need. Results are memoised per
    (workload, configuration, scale) so experiments that share a
    configuration (e.g. the Fig. 6 and Fig. 8 baselines) reuse runs within
-   one process. *)
+   one process.
+
+   The memo tables are domain-safe and single-flight (Memo): a run
+   requested concurrently by several experiments is simulated exactly
+   once, which is what lets the plan/prewarm phase below warm every cache
+   from a Pool of worker domains. Individual simulations share no mutable
+   state — each run builds its own interpreter, VM, translation cache and
+   timing model — so runs are independent jobs, exactly the trace-driven
+   SimpleScalar-style methodology shape. *)
 
 type timing = {
   cycles : int;
@@ -18,6 +26,30 @@ type timing = {
 
 let fuel = 100_000_000
 
+let timing_of_ooo (m : Uarch.Ooo.t) =
+  {
+    cycles = Uarch.Ooo.cycles m;
+    insns = m.n;
+    alpha = m.alpha;
+    v_ipc = Uarch.Ooo.v_ipc m;
+    ipc = Uarch.Ooo.ipc m;
+    mpki = Uarch.Pred.mpki m.pred ~insns:m.n;
+    misfetch_pki =
+      1000.0 *. float_of_int m.pred.misfetches /. float_of_int (max 1 m.n);
+  }
+
+let timing_of_ildp (m : Uarch.Ildp.t) =
+  {
+    cycles = Uarch.Ildp.cycles m;
+    insns = m.n;
+    alpha = m.alpha;
+    v_ipc = Uarch.Ildp.v_ipc m;
+    ipc = Uarch.Ildp.ipc m;
+    mpki = Uarch.Pred.mpki m.pred ~insns:m.n;
+    misfetch_pki =
+      1000.0 *. float_of_int m.pred.misfetches /. float_of_int (max 1 m.n);
+  }
+
 (* ---------- original (native Alpha on the superscalar model) ---------- *)
 
 let original_raw ~use_ras w ~scale =
@@ -29,16 +61,7 @@ let original_raw ~use_ras w ~scale =
   | Fault tr ->
     failwith (Format.asprintf "%s (original): %a" w.name Alpha.Interp.pp_trap tr)
   | Out_of_fuel -> failwith (w.name ^ ": out of fuel"));
-  let cycles = Uarch.Ooo.cycles m in
-  {
-    cycles;
-    insns = m.n;
-    alpha = m.alpha;
-    v_ipc = Uarch.Ooo.v_ipc m;
-    ipc = Uarch.Ooo.ipc m;
-    mpki = Uarch.Pred.mpki m.pred ~insns:m.n;
-    misfetch_pki = 1000.0 *. float_of_int m.pred.misfetches /. float_of_int (max 1 m.n);
-  }
+  timing_of_ooo m
 
 (* ---------- code-straightening-only DBT on the superscalar model ------- *)
 
@@ -68,17 +91,7 @@ let straight_raw ~chaining w ~scale =
   let ex = Option.get (Core.Vm.straight_exec vm) in
   let ctx = Option.get (Core.Vm.straight_ctx vm) in
   {
-    s_t =
-      {
-        cycles = Uarch.Ooo.cycles m;
-        insns = m.n;
-        alpha = m.alpha;
-        v_ipc = Uarch.Ooo.v_ipc m;
-        ipc = Uarch.Ooo.ipc m;
-        mpki = Uarch.Pred.mpki m.pred ~insns:m.n;
-        misfetch_pki =
-          1000.0 *. float_of_int m.pred.misfetches /. float_of_int (max 1 m.n);
-      };
+    s_t = timing_of_ooo m;
     s_i_exec = ex.stats.i_exec;
     s_alpha = ex.stats.alpha_retired;
     s_interp = vm.interp_insns;
@@ -146,20 +159,7 @@ let acc_raw ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
     Array.map (fun c -> if total_cat > 0.0 then c /. total_cat else 0.0) cat
   in
   {
-    a_t =
-      Option.map
-        (fun m ->
-          {
-            cycles = Uarch.Ildp.cycles m;
-            insns = m.Uarch.Ildp.n;
-            alpha = m.alpha;
-            v_ipc = Uarch.Ildp.v_ipc m;
-            ipc = Uarch.Ildp.ipc m;
-            mpki = Uarch.Pred.mpki m.pred ~insns:m.n;
-            misfetch_pki =
-              1000.0 *. float_of_int m.pred.misfetches /. float_of_int (max 1 m.n);
-          })
-        m;
+    a_t = Option.map timing_of_ildp m;
     a_i_exec = ex.stats.i_exec;
     a_alpha = ex.stats.alpha_retired;
     a_interp = vm.interp_insns;
@@ -179,44 +179,197 @@ let acc_raw ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
 
 (* ---------- memoisation ---------- *)
 
-let orig_cache : (string * bool * int, timing) Hashtbl.t = Hashtbl.create 64
-let straight_cache : (string * Core.Config.chaining * int, straight_out) Hashtbl.t =
-  Hashtbl.create 64
-let acc_cache : (string, acc_out) Hashtbl.t = Hashtbl.create 64
+(* The acc key is a structural record, not a formatted string: the old
+   Printf.sprintf key ran on every lookup and was collision-prone on '/'
+   in workload names. The ILDP parameters enter via the projection that
+   actually distinguishes configurations in this study (PE count,
+   communication latency, L1 size), matching the experiment sweeps. *)
+type ildp_key = { k_n_pe : int; k_comm : int; k_l1 : int }
 
-let memo cache key f =
-  match Hashtbl.find_opt cache key with
-  | Some v -> v
-  | None ->
-    let v = f () in
-    Hashtbl.replace cache key v;
-    v
+type acc_key = {
+  k_name : string;
+  k_isa : Core.Config.isa;
+  k_chaining : Core.Config.chaining;
+  k_n_accs : int;
+  k_fuse_mem : bool;
+  k_stop : bool;
+  k_max_sb : int;
+  k_hot : int;
+  k_ildp : ildp_key option;
+  k_scale : int;
+}
+
+let ildp_key_of (p : Uarch.Ildp.params) =
+  { k_n_pe = p.n_pe; k_comm = p.comm; k_l1 = p.mem.l1_size }
+
+let acc_key_of ~isa ~chaining ~n_accs ~fuse_mem ~stop_at_translated
+    ~max_superblock ~hot_threshold ~ildp ~scale (w : Workloads.t) =
+  {
+    k_name = w.name;
+    k_isa = isa;
+    k_chaining = chaining;
+    k_n_accs = n_accs;
+    k_fuse_mem = fuse_mem;
+    k_stop = stop_at_translated;
+    k_max_sb = max_superblock;
+    k_hot = hot_threshold;
+    k_ildp = Option.map ildp_key_of ildp;
+    k_scale = scale;
+  }
+
+let orig_cache : (string * bool * int, timing) Memo.t = Memo.create 64
+let straight_cache : (string * Core.Config.chaining * int, straight_out) Memo.t =
+  Memo.create 64
+let acc_cache : (acc_key, acc_out) Memo.t = Memo.create 64
+
+let reset_caches () =
+  Memo.clear orig_cache;
+  Memo.clear straight_cache;
+  Memo.clear acc_cache
 
 let original ?(use_ras = true) ?(scale = 1) w =
-  memo orig_cache (w.Workloads.name, use_ras, scale) (fun () ->
+  Memo.find_or_compute orig_cache (w.Workloads.name, use_ras, scale) (fun () ->
       original_raw ~use_ras w ~scale)
 
 let straight ?(chaining = Core.Config.Sw_pred_ras) ?(scale = 1) w =
-  memo straight_cache (w.Workloads.name, chaining, scale) (fun () ->
-      straight_raw ~chaining w ~scale)
+  Memo.find_or_compute straight_cache (w.Workloads.name, chaining, scale)
+    (fun () -> straight_raw ~chaining w ~scale)
 
 let acc ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
     ?(n_accs = 4) ?(fuse_mem = false) ?(stop_at_translated = false)
     ?(max_superblock = 200) ?(hot_threshold = 50) ?ildp ?(scale = 1) w =
   let key =
-    Printf.sprintf "%s/%s/%s/%d/%b/%b/%d/%d/%s/%d" w.Workloads.name
-      (Core.Config.isa_name isa)
-      (Core.Config.chaining_name chaining)
-      n_accs fuse_mem stop_at_translated max_superblock hot_threshold
-      (match ildp with
-      | None -> "none"
-      | Some (p : Uarch.Ildp.params) ->
-        Printf.sprintf "pe%d.c%d.l1%d" p.n_pe p.comm p.mem.l1_size)
-      scale
+    acc_key_of ~isa ~chaining ~n_accs ~fuse_mem ~stop_at_translated
+      ~max_superblock ~hot_threshold ~ildp ~scale w
   in
-  memo acc_cache key (fun () ->
+  Memo.find_or_compute acc_cache key (fun () ->
       acc_raw ~isa ~chaining ~n_accs ~fuse_mem ~stop_at_translated
         ~max_superblock ~hot_threshold ?ildp w ~scale)
+
+(* ---------- run requests (the experiments' plan phase) ---------- *)
+
+(* A [req] names one memoisable simulation run. Experiments declare their
+   full run set as a plan; [prewarm] dedups the plan and warms every cache
+   from the worker pool, after which rendering hits only warm caches and
+   is byte-identical at any job count. *)
+
+type req =
+  | R_orig of { w : Workloads.t; use_ras : bool; scale : int }
+  | R_straight of { w : Workloads.t; chaining : Core.Config.chaining; scale : int }
+  | R_acc of {
+      w : Workloads.t;
+      isa : Core.Config.isa;
+      chaining : Core.Config.chaining;
+      n_accs : int;
+      fuse_mem : bool;
+      stop_at_translated : bool;
+      max_superblock : int;
+      hot_threshold : int;
+      ildp : Uarch.Ildp.params option;
+      scale : int;
+    }
+
+let req_original ?(use_ras = true) ?(scale = 1) w = R_orig { w; use_ras; scale }
+
+let req_straight ?(chaining = Core.Config.Sw_pred_ras) ?(scale = 1) w =
+  R_straight { w; chaining; scale }
+
+let req_acc ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
+    ?(n_accs = 4) ?(fuse_mem = false) ?(stop_at_translated = false)
+    ?(max_superblock = 200) ?(hot_threshold = 50) ?ildp ?(scale = 1) w =
+  R_acc
+    {
+      w;
+      isa;
+      chaining;
+      n_accs;
+      fuse_mem;
+      stop_at_translated;
+      max_superblock;
+      hot_threshold;
+      ildp;
+      scale;
+    }
+
+(* Closure-free key for deduplication (Workloads.t holds a closure, so
+   structural comparison of reqs themselves is off the table). *)
+type req_key =
+  | K_orig of (string * bool * int)
+  | K_straight of (string * Core.Config.chaining * int)
+  | K_acc of acc_key
+
+let key_of_req = function
+  | R_orig { w; use_ras; scale } -> K_orig (w.Workloads.name, use_ras, scale)
+  | R_straight { w; chaining; scale } ->
+    K_straight (w.Workloads.name, chaining, scale)
+  | R_acc
+      {
+        w;
+        isa;
+        chaining;
+        n_accs;
+        fuse_mem;
+        stop_at_translated;
+        max_superblock;
+        hot_threshold;
+        ildp;
+        scale;
+      } ->
+    K_acc
+      (acc_key_of ~isa ~chaining ~n_accs ~fuse_mem ~stop_at_translated
+         ~max_superblock ~hot_threshold ~ildp ~scale w)
+
+let run_req = function
+  | R_orig { w; use_ras; scale } -> ignore (original ~use_ras ~scale w)
+  | R_straight { w; chaining; scale } -> ignore (straight ~chaining ~scale w)
+  | R_acc
+      {
+        w;
+        isa;
+        chaining;
+        n_accs;
+        fuse_mem;
+        stop_at_translated;
+        max_superblock;
+        hot_threshold;
+        ildp;
+        scale;
+      } ->
+    ignore
+      (acc ~isa ~chaining ~n_accs ~fuse_mem ~stop_at_translated ~max_superblock
+         ~hot_threshold ?ildp ~scale w)
+
+let dedup reqs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      let k = key_of_req r in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    reqs
+
+(* Warm every cache entry a plan needs, in parallel over [pool]. Awaits
+   all jobs; the first failure (in submission order) is re-raised after
+   every job has settled, so no worker is left running a stale job. *)
+let prewarm ~pool reqs =
+  let reqs = dedup reqs in
+  let futs = List.map (fun r -> Pool.submit pool (fun () -> run_req r)) reqs in
+  let first_error =
+    List.fold_left
+      (fun err fut ->
+        match Pool.await fut with
+        | () -> err
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          if err = None then Some (e, bt) else err)
+      None futs
+  in
+  match first_error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 (* geometric mean, the usual summary for IPC-like ratios *)
 let geomean xs =

@@ -33,15 +33,25 @@ let all : t list =
 let find name = List.find_opt (fun w -> w.name = name) all
 
 let cache : (string * int, Alpha.Program.t) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
 
-(* Compile (and memoise) the workload at the given scale. *)
+(* Compile (and memoise) the workload at the given scale. The cache is
+   shared by every harness worker domain, so lookup and compile run under
+   a mutex; compilation is cheap next to a simulation run, and holding the
+   lock across it keeps the compile single-flight. The compiled program
+   image itself is immutable (each interpreter/VM maps its own memory), so
+   sharing the cached value across domains is safe. *)
 let program ?(scale = 1) w =
-  match Hashtbl.find_opt cache (w.name, scale) with
-  | Some p -> p
-  | None ->
-    let p = Minic.compile (w.source ~scale) in
-    Hashtbl.replace cache (w.name, scale) p;
-    p
+  Mutex.lock cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt cache (w.name, scale) with
+      | Some p -> p
+      | None ->
+        let p = Minic.compile (w.source ~scale) in
+        Hashtbl.replace cache (w.name, scale) p;
+        p)
 
 (* Reference run under the plain interpreter: exit code, output, dynamic
    V-ISA instruction count. *)

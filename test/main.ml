@@ -14,4 +14,5 @@ let () =
       ("minic", Test_minic.suite);
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
+      ("pool", Test_pool.suite);
     ]

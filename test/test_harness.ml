@@ -20,12 +20,22 @@ let all_names () = List.map (fun (w : Workloads.t) -> w.name) Workloads.all
 let test_registry () =
   check Alcotest.int "13 experiments" 13 (List.length Harness.Experiments.all);
   List.iter
-    (fun (id, desc, _) ->
-      check Alcotest.bool (id ^ " described") true (String.length desc > 5);
-      check Alcotest.bool (id ^ " findable") true
-        (Harness.Experiments.find id <> None))
+    (fun (e : Harness.Experiments.exp) ->
+      check Alcotest.bool (e.id ^ " described") true (String.length e.desc > 5);
+      check Alcotest.bool (e.id ^ " findable") true
+        (Harness.Experiments.find e.id <> None))
     Harness.Experiments.all;
   check Alcotest.bool "unknown id" true (Harness.Experiments.find "nope" = None)
+
+(* every experiment except table1 (pure configuration print) declares a
+   non-empty run plan, and plans dedup to at most 12 workloads x configs *)
+let test_plans_declared () =
+  List.iter
+    (fun (e : Harness.Experiments.exp) ->
+      let n = List.length (e.plan ~scale:1) in
+      if e.id = "table1" then check Alcotest.int "table1 plan empty" 0 n
+      else check Alcotest.bool (e.id ^ " has a plan") true (n > 0))
+    Harness.Experiments.all
 
 let test_table1_prints_parameters () =
   let out = render Harness.Experiments.table1 in
@@ -90,6 +100,7 @@ let test_geomean_mean () =
 let suite =
   [
     ("experiment registry", `Quick, test_registry);
+    ("experiment plans declared", `Quick, test_plans_declared);
     ("table1 prints the configuration", `Quick, test_table1_prints_parameters);
     ("fig7 rows and sanity", `Slow, test_fig7_rows_and_sanity);
     ("sec42 rows and sanity", `Slow, test_sec42_overhead_sane);
