@@ -184,17 +184,20 @@ let run ?sink ?(fuel = max_int) t ~entry : exit =
        | I.Set_vbase { vaddr } -> t.vbase <- vaddr
        | I.Push_dras { g; v_ret; i_ret } ->
          set_g t g (Int64.of_int v_ret);
+         (* an unpatched push (return point untranslated at emission time)
+            encodes its missing target as a negative immediate *)
          if t.ctx.cfg.chaining = Config.Sw_pred_ras then
-           Machine.Dual_ras.push t.dras ~v_addr:v_ret ~i_addr:i_ret
+           Machine.Dual_ras.push t.dras ~v_addr:v_ret
+             ~i_addr:(if i_ret >= 0 then Some i_ret else None)
        | I.Ret_dras { v } -> (
          let v_actual = Int64.to_int (src_val t v) in
          match Machine.Dual_ras.pop_verify t.dras ~v_actual with
-         | Some i when i >= 0 ->
+         | Some i ->
            dras_hit := true;
            t.stats.ret_dras_hits <- t.stats.ret_dras_hits + 1;
            taken := true;
            next := i
-         | _ ->
+         | None ->
            (* stale/unpatched pair or empty stack: fall through to the
               dispatch path that follows every dual-RAS return *)
            t.stats.ret_dras_misses <- t.stats.ret_dras_misses + 1)
@@ -217,6 +220,13 @@ let run ?sink ?(fuel = max_int) t ~entry : exit =
        end
      with
     | Memory.Fault _ | Unaligned_acc _ -> (
+      (* The faulting V-ISA instruction does not commit here — the VM
+         re-executes it by interpretation — so take back the one
+         retirement credit this slot claimed for it. (Credits for earlier
+         straightened-away instructions folded into the same slot did
+         commit on the way in and stay counted.) *)
+      t.stats.alpha_retired <- t.stats.alpha_retired - 1;
+      budget := !budget + 1;
       match apply_pei_map t s with
       | Some v_pc ->
         t.interp.pc <- v_pc;

@@ -129,17 +129,19 @@ let run ?sink ?(fuel = max_int) t ~entry : exit =
        | A.Lta (ra, v) -> set ra (Int64.of_int v)
        | A.Push_dras (ra, v_ret, i_ret) ->
          set ra (Int64.of_int v_ret);
+         (* negative [i_ret]: unpatched push, return point untranslated *)
          if t.ctx.cfg.chaining = Config.Sw_pred_ras then
-           Machine.Dual_ras.push t.dras ~v_addr:v_ret ~i_addr:i_ret
+           Machine.Dual_ras.push t.dras ~v_addr:v_ret
+             ~i_addr:(if i_ret >= 0 then Some i_ret else None)
        | A.Ret_dras rb -> (
          let v_actual = Int64.to_int (get rb) in
          match Machine.Dual_ras.pop_verify t.dras ~v_actual with
-         | Some i when i >= 0 ->
+         | Some i ->
            dras_hit := true;
            t.stats.ret_dras_hits <- t.stats.ret_dras_hits + 1;
            taken := true;
            next := i
-         | _ -> t.stats.ret_dras_misses <- t.stats.ret_dras_misses + 1)
+         | None -> t.stats.ret_dras_misses <- t.stats.ret_dras_misses + 1)
        | A.Set_vbase v -> t.vbase <- v
        | A.Call_xlate exit_id ->
          result := Some (X_reason (Vec.get t.ctx.exits exit_id))
@@ -159,6 +161,11 @@ let run ?sink ?(fuel = max_int) t ~entry : exit =
        end
      with
     | Memory.Fault _ | Unaligned_s _ -> (
+      (* the faulting V-ISA instruction does not commit here (the VM
+         re-executes it by interpretation) — take back its retirement
+         credit; see the matching comment in Exec_acc *)
+      t.stats.alpha_retired <- t.stats.alpha_retired - 1;
+      budget := !budget + 1;
       match Tcache.Straight.pei_at tc s with
       | Some pei ->
         t.interp.pc <- pei.Tcache.pei_v_pc;

@@ -204,12 +204,19 @@ let translate ctx mem (sb : Superblock.t) =
       ignore (emit ctx Translate.C_chain (A.Mem (Ldah, at, hi, 31)));
       ignore (emit ctx Translate.C_chain (A.Mem (Lda, at, lo, at)));
       ignore (emit ctx Translate.C_chain (A.Opr (Cmpeq, at, Rb rb, at)));
+      (* the jump's retirement credit must ride on the compare-and-branch
+         slot, which executes on both paths — a prediction hit transfers
+         straight to the chained entry and never reaches the dispatch jump
+         below (cf. emit_sw_pred in Translate, which credits the Bc) *)
+      let alpha = take_alpha () in
       (match Tcache.Straight.lookup ctx.tc v_pred with
       | Some entry ->
-        ignore (emit ctx Translate.C_chain (A.Bc (Ne, at, entry)))
+        ignore (emit ~alpha ctx Translate.C_chain (A.Bc (Ne, at, entry)))
       | None ->
         let exit_id = new_exit v_pred in
-        let slot = emit ctx Translate.C_chain (A.Call_xlate_cond (Ne, at, exit_id)) in
+        let slot =
+          emit ~alpha ctx Translate.C_chain (A.Call_xlate_cond (Ne, at, exit_id))
+        in
         Tcache.Straight.on_translate ctx.tc v_pred (fun entry ->
             Tcache.Straight.patch ctx.tc slot (A.Bc (Ne, at, entry))));
       emit_dispatch_jump rb
@@ -290,8 +297,10 @@ let translate ctx mem (sb : Superblock.t) =
           | Call_pal _ ->
             let exit_id = Vec.length ctx.exits in
             Vec.push ctx.exits (Exitr.R_pal e.pc);
+            (* the PAL instruction retires in the interpreter on reentry,
+               not here — keep its own credit out of the exit slot *)
             ignore
-              (emit ~alpha:(take_alpha ()) ctx Translate.C_core
+              (emit ~alpha:(take_alpha () - 1) ctx Translate.C_core
                  (A.Call_xlate exit_id));
             block_done := true
           | Lta _ | Push_dras _ | Ret_dras _ | Call_xlate _ | Call_xlate_cond _

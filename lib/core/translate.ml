@@ -702,7 +702,12 @@ let translate ctx mem (sb : Superblock.t) =
           | K_pal _ ->
             let exit_id = Vec.length ctx.exits in
             Vec.push ctx.exits (Exitr.R_pal nd.v_pc);
-            let slot = emit ~alpha:(take_alpha ()) ctx C_core (I.Call_xlate { exit_id }) in
+            (* the PAL instruction itself retires in the interpreter on
+               reentry, not here: leave its own credit (always pending at
+               this point) out of the slot so it is not counted twice *)
+            let slot =
+              emit ~alpha:(take_alpha () - 1) ctx C_core (I.Call_xlate { exit_id })
+            in
             add_pei slot nd.v_pc;
             block_done := true
           | K_br bk -> (

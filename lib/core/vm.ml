@@ -21,6 +21,26 @@ type backend =
   | B_acc of Translate.ctx * Exec_acc.t
   | B_straight of Straighten.ctx * Exec_straight.t
 
+(* How a translated-execution segment ended. Recorded just before the
+   [boundary] callback fires, so boundary observers (timing models, the
+   differential oracle, coverage accounting) can tell what kind of
+   mode-switch they are looking at. *)
+type seg =
+  | Seg_branch of int  (* fragment exit to an untranslated V-PC *)
+  | Seg_pal of int  (* CALL_PAL: VM re-enters the interpreter *)
+  | Seg_dispatch_miss  (* dispatch-table miss on an indirect target *)
+  | Seg_trap_recovered  (* PEI repair: precise state rebuilt, retry next *)
+  | Seg_fuel  (* instruction budget ran out mid-fragment *)
+
+type seg_stats = {
+  mutable branch_exits : int;
+  mutable pal_exits : int;
+  mutable dispatch_misses : int;
+  mutable trap_recoveries : int;
+  mutable fuel_stops : int;
+  mutable flushes : int;
+}
+
 type t = {
   cfg : Config.t;
   interp : Alpha.Interp.t;
@@ -29,6 +49,8 @@ type t = {
   mutable fuel : int;
   mutable interp_insns : int; (* dynamically interpreted V-ISA instructions *)
   mutable superblocks : int;
+  segs : seg_stats;
+  mutable last_seg : seg option; (* most recent segment end, for observers *)
 }
 
 let create ?(cfg = Config.default) ~kind prog =
@@ -43,7 +65,11 @@ let create ?(cfg = Config.default) ~kind prog =
       B_straight (ctx, Exec_straight.create ctx interp)
   in
   { cfg; interp; backend; counters = Hashtbl.create 512; fuel = max_int;
-    interp_insns = 0; superblocks = 0 }
+    interp_insns = 0; superblocks = 0;
+    segs =
+      { branch_exits = 0; pal_exits = 0; dispatch_misses = 0;
+        trap_recoveries = 0; fuel_stops = 0; flushes = 0 };
+    last_seg = None }
 
 let cost t =
   match t.backend with
@@ -82,7 +108,8 @@ let flush t =
   | B_straight (ctx, ex) ->
     Straighten.flush ctx t.interp.mem;
     Machine.Dual_ras.clear ex.Exec_straight.dras);
-  Hashtbl.reset t.counters
+  Hashtbl.reset t.counters;
+  t.segs.flushes <- t.segs.flushes + 1
 
 let dual_ras t =
   match t.backend with
@@ -100,16 +127,35 @@ let interp_ras_update t (info : Alpha.Interp.exec_info) =
     match info.insn with
     | Bsr _ | Jump (Jsr, _, _) ->
       let v_ret = info.xpc + 4 in
-      let i_ret = Option.value ~default:(-1) (entry_of t v_ret) in
-      Machine.Dual_ras.push dras ~v_addr:v_ret ~i_addr:i_ret
+      Machine.Dual_ras.push dras ~v_addr:v_ret ~i_addr:(entry_of t v_ret)
     | Br (ra, _) when ra <> 31 ->
       let v_ret = info.xpc + 4 in
-      let i_ret = Option.value ~default:(-1) (entry_of t v_ret) in
-      Machine.Dual_ras.push dras ~v_addr:v_ret ~i_addr:i_ret
+      Machine.Dual_ras.push dras ~v_addr:v_ret ~i_addr:(entry_of t v_ret)
     | Jump (Ret, _, _) ->
       ignore (Machine.Dual_ras.pop_verify dras ~v_actual:info.next_pc)
     | _ -> ()
   end
+
+(* Every single V-ISA instruction the VM interprets — in the profiling loop,
+   on post-PAL reentry, on post-trap-recovery retry — must go through this
+   helper so that cost units, the interpreted-instruction counters, the fuel
+   budget and the dual-address RAS advance identically on all three paths.
+   (The reentry paths once performed a bare [Alpha.Interp.step] and silently
+   drifted from the profiling loop's accounting.) *)
+let interp_step_accounted t =
+  let r = Alpha.Interp.step t.interp in
+  (match r with
+  | Alpha.Interp.Step info ->
+    (* counted only when the instruction retires, keeping all three
+       counters (cost model, [t.interp_insns], the interpreter's own
+       [icount]) in exact agreement *)
+    Cost.tick_interp (cost t) Cost.interp_step;
+    (cost t).interp_insns <- (cost t).interp_insns + 1;
+    t.interp_insns <- t.interp_insns + 1;
+    t.fuel <- t.fuel - 1;
+    interp_ras_update t info
+  | Halted _ | Trapped _ -> ());
+  r
 
 (* Run the program under the VM. [sink] receives translated-code events;
    [boundary] fires at every translated-execution segment end. *)
@@ -140,6 +186,25 @@ let run ?sink ?boundary ?(fuel = max_int) t : outcome =
         | Exec_straight.X_trap_recovered -> `Trap_recovered
         | Exec_straight.X_fuel -> `Fuel)
     in
+    let seg =
+      match exit_ with
+      | `Reason (Exitr.R_branch v) ->
+        t.segs.branch_exits <- t.segs.branch_exits + 1;
+        Seg_branch v
+      | `Reason (Exitr.R_pal v) ->
+        t.segs.pal_exits <- t.segs.pal_exits + 1;
+        Seg_pal v
+      | `Reason Exitr.R_dispatch_miss ->
+        t.segs.dispatch_misses <- t.segs.dispatch_misses + 1;
+        Seg_dispatch_miss
+      | `Trap_recovered ->
+        t.segs.trap_recoveries <- t.segs.trap_recoveries + 1;
+        Seg_trap_recovered
+      | `Fuel ->
+        t.segs.fuel_stops <- t.segs.fuel_stops + 1;
+        Seg_fuel
+    in
+    t.last_seg <- Some seg;
     notify_boundary ();
     exit_
   in
@@ -149,20 +214,23 @@ let run ?sink ?boundary ?(fuel = max_int) t : outcome =
     | B_straight (_, ex) -> Exec_straight.dispatch_target ex
   in
   let interp_one () =
-    Cost.tick_interp (cost t) Cost.interp_step;
-    (cost t).interp_insns <- (cost t).interp_insns + 1;
-    match Alpha.Interp.step t.interp with
+    match interp_step_accounted t with
     | Halted c -> result := Some (Exit c)
     | Trapped tr -> result := Some (Fault tr)
     | Step info ->
-      t.interp_insns <- t.interp_insns + 1;
-      t.fuel <- t.fuel - 1;
-      interp_ras_update t info;
       candidate :=
         (match info.insn with
         | Jump _ -> true
         | Bc _ | Br _ | Bsr _ -> info.taken && info.next_pc <= info.xpc
         | _ -> false)
+  in
+  (* Reentry paths (post-PAL, post-trap-recovery) interpret exactly one
+     instruction; the next PC is sequential, never a candidate edge. *)
+  let interp_reentry () =
+    match interp_step_accounted t with
+    | Halted c -> result := Some (Exit c)
+    | Trapped tr -> result := Some (Fault tr)
+    | Step _ -> candidate := false
   in
   while !result = None do
     if t.fuel <= 0 then result := Some Out_of_fuel
@@ -176,25 +244,15 @@ let run ?sink ?boundary ?(fuel = max_int) t : outcome =
           candidate := true
         | `Reason (Exitr.R_pal v_pc) ->
           t.interp.pc <- v_pc;
-          (match Alpha.Interp.step t.interp with
-          | Halted c -> result := Some (Exit c)
-          | Trapped tr -> result := Some (Fault tr)
-          | Step _ ->
-            t.fuel <- t.fuel - 1;
-            candidate := false)
+          interp_reentry ()
         | `Reason Exitr.R_dispatch_miss ->
           t.interp.pc <- dispatch_target ();
           candidate := true
-        | `Trap_recovered -> (
+        | `Trap_recovered ->
           (* re-execute the faulting V-ISA instruction by interpretation;
-             it raises the architectural trap with precise state *)
-          match Alpha.Interp.step t.interp with
-          | Halted c -> result := Some (Exit c)
-          | Trapped tr -> result := Some (Fault tr)
-          | Step _ ->
-            (* the retry succeeded (e.g. state repaired between); continue *)
-            t.fuel <- t.fuel - 1;
-            candidate := false)
+             it raises the architectural trap with precise state (or, if
+             the retry succeeds because state was repaired, continues) *)
+          interp_reentry ()
         | `Fuel -> result := Some Out_of_fuel)
       | None ->
         if !candidate then begin

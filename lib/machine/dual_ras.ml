@@ -9,7 +9,13 @@
    mismatch control falls through to chaining code that reaches the shared
    dispatch. *)
 
-type entry = { v_addr : int; i_addr : int }
+(* [i_addr = None] records a call whose return point has no translation
+   (yet): the pair still occupies a stack slot so call/return nesting stays
+   aligned, but a verifying pop cannot produce a target and reports a miss.
+   (An earlier version stored a [-1] sentinel integer here and relied on
+   every consumer filtering it out; the option makes the "no target" case
+   impossible to mistake for a live I-address.) *)
+type entry = { v_addr : int; i_addr : int option }
 
 type t = {
   buf : entry array;
@@ -22,7 +28,7 @@ type t = {
 
 let create ?(entries = 8) () =
   {
-    buf = Array.make entries { v_addr = 0; i_addr = 0 };
+    buf = Array.make entries { v_addr = 0; i_addr = None };
     top = 0;
     depth = 0;
     pushes = 0;
@@ -42,7 +48,10 @@ let push t ~v_addr ~i_addr =
 
 (* Pop and verify against the actual V-ISA return address held in the return
    register. Returns [Some i_addr] when the prediction verifies (the common
-   case), [None] when the stack was empty or the pair is stale. *)
+   case), [None] when the stack was empty, the pair is stale, or the pushed
+   return point had no translated target. Only a usable target counts as a
+   hit — a verified pair without an I-address still falls through to the
+   dispatch, which is a miss as far as the hardware is concerned. *)
 let pop_verify t ~v_actual =
   t.pops <- t.pops + 1;
   if t.depth = 0 then None
@@ -50,11 +59,11 @@ let pop_verify t ~v_actual =
     t.top <- (t.top + Array.length t.buf - 1) mod Array.length t.buf;
     t.depth <- t.depth - 1;
     let e = t.buf.(t.top) in
-    if e.v_addr = v_actual then begin
+    match e.i_addr with
+    | Some i when e.v_addr = v_actual ->
       t.hits <- t.hits + 1;
-      Some e.i_addr
-    end
-    else None
+      Some i
+    | _ -> None
   end
 
 let hit_rate t =

@@ -7,7 +7,10 @@
     verifies the V-address against the architected return register, and on
     a match jumps straight to the popped I-address. *)
 
-type entry = { v_addr : int; i_addr : int }
+type entry = { v_addr : int; i_addr : int option }
+(** [i_addr = None] records a call whose return point has no translated
+    target: the slot keeps call/return nesting aligned, but a verifying
+    pop cannot jump anywhere and is counted as a miss. *)
 
 type t = {
   buf : entry array;
@@ -23,12 +26,13 @@ val create : ?entries:int -> unit -> t
 
 val clear : t -> unit
 
-val push : t -> v_addr:int -> i_addr:int -> unit
+val push : t -> v_addr:int -> i_addr:int option -> unit
 (** Push a pair; beyond capacity the oldest entry is overwritten. *)
 
 val pop_verify : t -> v_actual:int -> int option
 (** Pop and verify against the actual V-ISA return address. [Some i_addr]
-    when the prediction verifies; [None] when the stack was empty or the
-    pair is stale. *)
+    when the prediction verifies against a live target; [None] when the
+    stack was empty, the pair is stale, or the pushed return point had no
+    translation (only the [Some] case counts as a hit). *)
 
 val hit_rate : t -> float

@@ -16,14 +16,44 @@ type t = {
   chunks : (int, Bytes.t) Hashtbl.t;
   mutable reads : int;  (* accounting, used by tests *)
   mutable writes : int;
+  (* Optional write-set tracking: when [track_dirty] is on, every store
+     records its chunk index in [dirty]. Off by default so the hot
+     simulation path pays only a branch; the differential oracle turns it
+     on to confine per-boundary memory comparison to written pages. *)
+  mutable track_dirty : bool;
+  dirty : (int, unit) Hashtbl.t;
 }
 
-let create () = { chunks = Hashtbl.create 64; reads = 0; writes = 0 }
+let create () =
+  {
+    chunks = Hashtbl.create 64;
+    reads = 0;
+    writes = 0;
+    track_dirty = false;
+    dirty = Hashtbl.create 16;
+  }
 
 let copy t =
   let chunks = Hashtbl.create (Hashtbl.length t.chunks) in
   Hashtbl.iter (fun k v -> Hashtbl.replace chunks k (Bytes.copy v)) t.chunks;
-  { chunks; reads = t.reads; writes = t.writes }
+  {
+    chunks;
+    reads = t.reads;
+    writes = t.writes;
+    track_dirty = t.track_dirty;
+    dirty = Hashtbl.copy t.dirty;
+  }
+
+let set_dirty_tracking t on = t.track_dirty <- on
+let clear_dirty t = Hashtbl.reset t.dirty
+
+let dirty_chunks t =
+  Hashtbl.fold (fun c () acc -> c :: acc) t.dirty [] |> List.sort compare
+
+let chunk_bytes t c = Hashtbl.find_opt t.chunks c
+
+let mark t addr =
+  if t.track_dirty then Hashtbl.replace t.dirty (addr lsr chunk_bits) ()
 
 (* Map every chunk overlapping [addr, addr+len). Freshly mapped chunks are
    zero-filled. Mapping an already-mapped chunk is a no-op. *)
@@ -52,6 +82,7 @@ let get_u8 t addr =
 
 let set_u8 t addr v =
   t.writes <- t.writes + 1;
+  mark t addr;
   Bytes.unsafe_set (chunk_of t addr) (addr land (chunk_size - 1))
     (Char.unsafe_chr (v land 0xff))
 
@@ -67,6 +98,7 @@ let get_u16 t addr =
 let set_u16 t addr v =
   if in_chunk addr 2 then begin
     t.writes <- t.writes + 1;
+    mark t addr;
     Bytes.set_uint16_le (chunk_of t addr) (addr land (chunk_size - 1)) (v land 0xffff)
   end
   else begin
@@ -85,6 +117,7 @@ let get_u32 t addr =
 let set_u32 t addr v =
   if in_chunk addr 4 then begin
     t.writes <- t.writes + 1;
+    mark t addr;
     Bytes.set_int32_le (chunk_of t addr) (addr land (chunk_size - 1))
       (Int32.of_int (v land 0xffffffff))
   end
@@ -106,6 +139,7 @@ let get_i64 t addr =
 let set_i64 t addr v =
   if in_chunk addr 8 then begin
     t.writes <- t.writes + 1;
+    mark t addr;
     Bytes.set_int64_le (chunk_of t addr) (addr land (chunk_size - 1)) v
   end
   else begin

@@ -12,9 +12,30 @@ type t = {
   chunks : (int, Bytes.t) Hashtbl.t;
   mutable reads : int;  (** access accounting, used by tests *)
   mutable writes : int;
+  mutable track_dirty : bool;  (** when on, stores record their chunk *)
+  dirty : (int, unit) Hashtbl.t;
 }
 
+val chunk_bits : int
+(** log2 of the chunk (page) size; chunk index of address [a] is
+    [a lsr chunk_bits]. *)
+
 val create : unit -> t
+
+val set_dirty_tracking : t -> bool -> unit
+(** Enable or disable write-set tracking. Off by default: the hot
+    simulation path then pays only a branch per store. The differential
+    oracle enables it so per-boundary memory comparison can be confined
+    to pages actually written. *)
+
+val dirty_chunks : t -> int list
+(** Chunk indices written since tracking was enabled (or last
+    {!clear_dirty}), sorted ascending. *)
+
+val clear_dirty : t -> unit
+
+val chunk_bytes : t -> int -> Bytes.t option
+(** Backing bytes of a chunk by index, if mapped. Treat as read-only. *)
 
 val copy : t -> t
 (** Deep copy (used by tests to snapshot a memory image). *)

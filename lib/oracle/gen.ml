@@ -1,0 +1,256 @@
+module Rng = Machine.Rng
+
+(* Block-structured random program generator. See the interface. *)
+
+type block = {
+  text : string list;
+  procs : string list;
+  data : string list;
+}
+
+type program = {
+  seed : int;
+  iters : int;
+  blocks : block list;
+}
+
+(* Registers the generator plays with — never sp/ra/at/gp, and never the
+   scaffolding registers: fp (buffer base), t8 (loop counter), t9/t10
+   (arm-local scratch), t11 (checksum). Same pool as [test_random]. *)
+let pool = [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 16; 17; 18; 19 |]
+let () = assert (not (Array.exists (fun r -> r = 15 || r >= 22) pool))
+let reg rng = Alpha.Reg.to_string pool.(Rng.int rng (Array.length pool))
+
+let ops2 =
+  [| "addq"; "subq"; "addl"; "subl"; "xor"; "and"; "bis"; "bic"; "s4addq";
+     "s8addq"; "cmpeq"; "cmplt"; "cmpule"; "cmpbge"; "sll"; "srl"; "sra";
+     "zap"; "zapnot"; "extbl"; "extwl"; "insbl"; "mskbl"; "eqv"; "ornot" |]
+
+let cmovs = [| "cmoveq"; "cmovne"; "cmovlt"; "cmovge" |]
+let unary = [| "ctpop"; "ctlz"; "cttz"; "sextb"; "sextw" |]
+
+let alu_line rng =
+  match Rng.int rng 8 with
+  | 0 | 1 | 2 | 3 ->
+    let op = ops2.(Rng.int rng (Array.length ops2)) in
+    if Rng.bool rng then
+      Printf.sprintf "%s %s, %s, %s" op (reg rng) (reg rng) (reg rng)
+    else Printf.sprintf "%s %s, %d, %s" op (reg rng) (Rng.int rng 64) (reg rng)
+  | 4 -> Printf.sprintf "mulq %s, %d, %s" (reg rng) (1 + Rng.int rng 100) (reg rng)
+  | 5 ->
+    Printf.sprintf "%s %s, %s, %s"
+      cmovs.(Rng.int rng (Array.length cmovs))
+      (reg rng) (reg rng) (reg rng)
+  | 6 -> Printf.sprintf "%s %s, %s" unary.(Rng.int rng 5) (reg rng) (reg rng)
+  | _ ->
+    let op = ops2.(Rng.int rng (Array.length ops2)) in
+    Printf.sprintf "%s %s, %s, %s" op (reg rng) (reg rng) (reg rng)
+
+let alu_lines rng n = List.init n (fun _ -> alu_line rng)
+
+(* Each arm constructor takes a program-unique id for its labels. *)
+
+let arm_alu rng _k = { text = alu_lines rng (3 + Rng.int rng 6); procs = []; data = [] }
+
+(* masked in-bounds quad/byte accesses against the 2304-byte data buffer *)
+let arm_mem rng _k =
+  let quad r =
+    [ Printf.sprintf "and %s, 127, t10" r; "s8addq t10, fp, t10";
+      (if Rng.bool rng then Printf.sprintf "ldq %s, 0(t10)" (reg rng)
+       else Printf.sprintf "stq %s, 0(t10)" (reg rng)) ]
+  in
+  let byte r =
+    [ Printf.sprintf "and %s, 255, t10" r; "addq t10, fp, t10";
+      (if Rng.bool rng then Printf.sprintf "ldbu %s, 0(t10)" (reg rng)
+       else Printf.sprintf "stb %s, 0(t10)" (reg rng)) ]
+  in
+  let text =
+    (if Rng.bool rng then quad (reg rng) else byte (reg rng))
+    @ alu_lines rng (1 + Rng.int rng 2)
+  in
+  { text; procs = []; data = [] }
+
+(* forward diamond *)
+let arm_diamond rng k =
+  let l = Printf.sprintf "dia%d" k in
+  let cond = [| "beq"; "bne"; "blt"; "bge"; "blbc"; "blbs" |] in
+  let text =
+    [ Printf.sprintf "%s %s, %s" cond.(Rng.int rng 6) (reg rng) l ]
+    @ alu_lines rng (1 + Rng.int rng 3)
+    @ [ l ^ ":" ]
+  in
+  { text; procs = []; data = [] }
+
+(* call chain of depth [d]; depths beyond 8 overflow the dual RAS, so
+   returns must still verify architecturally through the dispatch path *)
+let arm_call rng k =
+  let d = if Rng.int rng 4 = 0 then 9 + Rng.int rng 4 else 1 + Rng.int rng 3 in
+  let fn i = Printf.sprintf "fn%d_%d" k i in
+  let procs =
+    List.concat
+      (List.init d (fun i ->
+           [ fn i ^ ":"; "subq sp, 16, sp"; "stq ra, 8(sp)" ]
+           @ alu_lines rng (1 + Rng.int rng 2)
+           @ (if i + 1 < d then [ Printf.sprintf "bsr ra, %s" (fn (i + 1)) ]
+              else [])
+           @ [ "ldq ra, 8(sp)"; "addq sp, 16, sp"; "ret" ]))
+  in
+  { text = [ Printf.sprintf "bsr ra, %s" (fn 0) ]; procs; data = [] }
+
+(* indirect jump through a computed table of code labels *)
+let arm_jump_table rng k =
+  let case i = Printf.sprintf "jt%dc%d" k i in
+  let done_ = Printf.sprintf "jt%dd" k in
+  let table = Printf.sprintf "jt%d" k in
+  let text =
+    [ Printf.sprintf "and %s, 3, t10" (reg rng);
+      Printf.sprintf "la t9, %s" table;
+      "s8addq t10, t9, t10";
+      "ldq t10, 0(t10)";
+      "jmp (t10)" ]
+    @ List.concat
+        (List.init 4 (fun i ->
+             [ case i ^ ":" ]
+             @ alu_lines rng (1 + Rng.int rng 2)
+             @ if i < 3 then [ Printf.sprintf "br %s" done_ ] else []))
+    @ [ done_ ^ ":" ]
+  in
+  let data =
+    [ "  .align 8"; table ^ ":" ]
+    @ List.init 4 (fun i -> Printf.sprintf "  .quad %s" (case i))
+  in
+  { text; procs = []; data }
+
+(* mid-loop PAL call: forces a pal exit + interpreter reentry every
+   iteration once the loop is translated *)
+let arm_pal rng _k =
+  let text =
+    if Rng.bool rng then
+      [ Printf.sprintf "and %s, 63, t9" (reg rng); "addq t9, 48, t9";
+        "mov t9, a0"; "call_pal 1" ]
+    else [ Printf.sprintf "mov %s, a0" (reg rng); "call_pal 2" ]
+  in
+  { text; procs = []; data = [] }
+
+(* Trap-seeking arms, firing on a late iteration (the counter [t8] counts
+   down to 1). Two shapes. The {e hot} shape keeps the faulting
+   instruction on the hot path — its effective address (or jump target)
+   is computed from the gate flag, so it is benign on every iteration but
+   one; by then the loop is translated, and the fault must repair through
+   the PEI tables and re-enter the interpreter. The {e cold} shape hides
+   the faulting body behind a rarely-taken branch, so the fault happens
+   off-trace in the interpreter instead. The trap ends the program; at
+   most one per program. *)
+let arm_trap rng k =
+  let gate = 1 + Rng.int rng 8 in
+  let flag = Printf.sprintf "cmpeq t8, %d, t9" gate in
+  if Rng.int rng 4 > 0 then begin
+    let mk text data = { text; procs = []; data } in
+    match Rng.int rng 5 with
+    | 0 -> mk [ flag; "addq t9, fp, t10"; "ldq t9, 0(t10)" ] [] (* unaligned *)
+    | 1 ->
+      mk [ flag; "addq t9, fp, t10"; Printf.sprintf "stq %s, 0(t10)" (reg rng) ] []
+    | 2 ->
+      (* flag << 23 pushes the address past the stack: unmapped load *)
+      mk [ flag; "sll t9, 23, t10"; "addq t10, fp, t10"; "ldq t10, 0(t10)" ] []
+    | 3 ->
+      mk
+        [ flag; "sll t9, 23, t10"; "addq t10, fp, t10";
+          Printf.sprintf "stq %s, 0(t10)" (reg rng) ]
+        []
+    | _ ->
+      (* indirect jump whose table sends the gate iteration into data *)
+      let cont = Printf.sprintf "tr%dc" k in
+      let tab = Printf.sprintf "tr%dt" k in
+      mk
+        [ flag; Printf.sprintf "la t10, %s" tab; "s8addq t9, t10, t10";
+          "ldq t10, 0(t10)"; "jmp (t10)"; cont ^ ":" ]
+        [ "  .align 8"; tab ^ ":"; Printf.sprintf "  .quad %s" cont;
+          "  .quad buf" ]
+  end
+  else begin
+    let skip = Printf.sprintf "sk%d" k in
+    let body =
+      match Rng.int rng 5 with
+      | 0 -> [ "ldq t9, 1(fp)" ] (* unaligned load *)
+      | 1 -> [ Printf.sprintf "stq %s, 2(fp)" (reg rng) ] (* unaligned store *)
+      | 2 -> [ "ldiq t9, 0x900000"; "ldq t10, 0(t9)" ] (* unmapped load *)
+      | 3 ->
+        [ "ldiq t9, 0x900000"; Printf.sprintf "stq %s, 0(t9)" (reg rng) ]
+        (* unmapped store *)
+      | _ -> [ "la t9, buf"; "jmp (t9)" ] (* jump into data: illegal *)
+    in
+    let text =
+      [ flag; Printf.sprintf "beq t9, %s" skip ] @ body @ [ skip ^ ":" ]
+    in
+    { text; procs = []; data = [] }
+  end
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let iters = 40 + Rng.int rng 120 in
+  let n_blocks = 3 + Rng.int rng 6 in
+  let trap_used = ref false in
+  let blocks =
+    List.init n_blocks (fun k ->
+        match Rng.int rng 100 with
+        | x when x < 30 -> arm_alu rng k
+        | x when x < 45 -> arm_mem rng k
+        | x when x < 55 -> arm_diamond rng k
+        | x when x < 67 -> arm_call rng k
+        | x when x < 77 -> arm_jump_table rng k
+        | x when x < 84 -> arm_pal rng k
+        | _ ->
+          if !trap_used then arm_alu rng k
+          else begin
+            trap_used := true;
+            arm_trap rng k
+          end)
+  in
+  { seed; iters; blocks }
+
+let source ?blocks p =
+  let blocks = Option.value ~default:p.blocks blocks in
+  let b = Buffer.create 2048 in
+  let add s = Buffer.add_string b ("  " ^ s ^ "\n") in
+  let raw s = Buffer.add_string b (s ^ "\n") in
+  raw "  .text";
+  raw "_start:";
+  add "la fp, buf";
+  Array.iteri
+    (fun i r ->
+      add (Printf.sprintf "ldiq %s, %d" (Alpha.Reg.to_string r) ((i * 77) + 13)))
+    pool;
+  add (Printf.sprintf "ldiq t8, %d" p.iters);
+  raw "loop:";
+  List.iter
+    (fun blk ->
+      List.iter
+        (fun l -> if String.length l > 0 && l.[String.length l - 1] = ':' then raw l else add l)
+        blk.text)
+    blocks;
+  add "subq t8, 1, t8";
+  add "bne t8, loop";
+  (* fold the register pool into a checksum and print it *)
+  add "clr t11";
+  Array.iter
+    (fun r -> add (Printf.sprintf "xor t11, %s, t11" (Alpha.Reg.to_string r)))
+    pool;
+  add "mov t11, a0";
+  add "call_pal 2";
+  add "clr v0";
+  add "call_pal 0";
+  List.iter
+    (fun blk ->
+      List.iter
+        (fun l -> if String.length l > 0 && l.[String.length l - 1] = ':' then raw l else add l)
+        blk.procs)
+    blocks;
+  raw "  .data";
+  raw "  .align 8";
+  raw "buf:";
+  raw "  .space 2304";
+  List.iter (fun blk -> List.iter raw blk.data) blocks;
+  Buffer.contents b
+
+let assemble ?blocks p = Alpha.Assembler.assemble (source ?blocks p)

@@ -1,0 +1,39 @@
+(** Randomized Alpha program generator for the differential oracle.
+
+    A widened version of the structured generator in [test_random]: on top
+    of ALU/conditional-move/masked-memory/diamond bodies it emits
+    trap-seeking arms (gated unaligned and unmapped accesses, jumps into
+    the data section), indirect jumps through computed tables, deep
+    call/return chains that overflow the 8-entry dual RAS, and mid-loop
+    PAL calls that force interpreter reentry.
+
+    Programs are built from independent {e blocks} — each block carries
+    its loop-body text plus any procedures and data it needs, with labels
+    unique per block — so a delta-debugging shrinker can drop any subset
+    of blocks and still render a valid program. All programs terminate: a
+    counted loop bounds execution, and a trap arm (at most one per
+    program, firing on a late iteration so the loop is translated first)
+    ends it early with an architectural trap. *)
+
+type block = {
+  text : string list;  (** lines inside the loop body *)
+  procs : string list;  (** procedure definitions placed after exit *)
+  data : string list;  (** data-section lines *)
+}
+
+type program = {
+  seed : int;
+  iters : int;  (** loop trip count *)
+  blocks : block list;
+}
+
+val generate : seed:int -> program
+(** Deterministic in [seed]. *)
+
+val source : ?blocks:block list -> program -> string
+(** Render assembly source using [blocks] (default: all of the program's
+    blocks). Any subset of the original blocks renders a valid program. *)
+
+val assemble : ?blocks:block list -> program -> Alpha.Program.t
+(** [source] piped through the assembler. Raises [Alpha.Assembler.Error]
+    if the generator emitted bad assembly (a generator bug). *)

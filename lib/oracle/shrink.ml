@@ -1,0 +1,34 @@
+(* Classic ddmin: split into n chunks, try each complement; on success
+   recurse on the smaller list, otherwise double the granularity. *)
+
+let minimize ?(max_tests = 400) ~still_fails xs =
+  let tests = ref 0 in
+  let fails l =
+    if !tests >= max_tests then false
+    else begin
+      incr tests;
+      still_fails l
+    end
+  in
+  let rec go xs n =
+    let len = List.length xs in
+    if len <= 1 then xs
+    else begin
+      let n = min n len in
+      let chunk = len / n in
+      let complement i =
+        let lo = i * chunk and hi = if i = n - 1 then len else (i + 1) * chunk in
+        List.filteri (fun j _ -> j < lo || j >= hi) xs
+      in
+      let rec try_at i =
+        if i >= n then None
+        else
+          let c = complement i in
+          if List.length c < len && fails c then Some c else try_at (i + 1)
+      in
+      match try_at 0 with
+      | Some c -> go c (max (n - 1) 2)
+      | None -> if n >= len then xs else go xs (min len (2 * n))
+    end
+  in
+  if fails xs then go xs 2 else xs

@@ -1,0 +1,13 @@
+(** Delta debugging (Zeller–Hildebrandt ddmin) over a failing input list.
+
+    Used by the oracle to minimize a diverging program's block list before
+    reporting, so the fragment disassembly in the report covers as little
+    code as possible. Generic: nothing here knows about programs. *)
+
+val minimize :
+  ?max_tests:int -> still_fails:('a list -> bool) -> 'a list -> 'a list
+(** [minimize ~still_fails xs] returns a (locally) 1-minimal sublist of
+    [xs] on which [still_fails] holds, preserving element order. If
+    [still_fails xs] is false, returns [xs] unchanged. [still_fails] is
+    invoked at most [max_tests] (default 400) times; on budget exhaustion
+    the best list found so far is returned. *)

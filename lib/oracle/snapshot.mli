@@ -1,0 +1,69 @@
+(** Architected-state snapshots and diffs over {!Alpha.Interp}.
+
+    The differential oracle's comparison layer. Two forms:
+
+    - {!capture} / {!diff} — a self-contained snapshot (registers, PC,
+      retired-instruction count, PAL output length, and an FNV-1a digest
+      per written memory page) that can be stored and compared later;
+    - {!diff_live} — a direct comparison of two live interpreter states,
+      byte-precise on memory, used by the lockstep runner at every
+      translated-segment boundary.
+
+    Register comparisons skip AT (r28) and GP (r29) by default: the OSF
+    ABI reserves them between calls and the code-straightening DBT borrows
+    them for chaining code, so no conforming guest holds live values there
+    (same rule as [Alpha.Interp.reg_checksum]). R31 is architecturally
+    zero and never compared. *)
+
+type t = {
+  pc : int;
+  icount : int;  (** retired V-ISA instructions *)
+  regs : int64 array;  (** the 32 architected registers, copied *)
+  out_len : int;  (** PAL output bytes produced so far *)
+  pages : (int * int64) list;  (** (chunk index, FNV-1a digest), sorted *)
+}
+
+type mismatch =
+  | Reg of { r : int; got : int64; want : int64 }
+  | Pc of { got : int; want : int }
+  | Output of { got : string; want : string }
+      (** divergent suffixes of the PAL output (common prefix stripped) *)
+  | Mem of { addr : int; got : int; want : int }
+      (** first mismatching byte of a written page *)
+  | Page of { chunk : int; got : int64 option; want : int64 option }
+      (** digest-level page mismatch ([None] = page never written) *)
+  | Retire of { got : int; want : int }
+      (** the reference ended (halt/trap) before reaching the DBT's
+          retirement point — a control-flow divergence *)
+  | Outcome of { got : string; want : string }  (** final outcome differs *)
+
+val capture : ?is_private:(int -> bool) -> Alpha.Interp.t -> t
+(** Snapshot the architected state. Pages for which [is_private] holds
+    (VM-internal memory such as the dispatch table) are not digested. *)
+
+val diff : got:t -> want:t -> mismatch list
+(** Compare two snapshots; memory at page-digest granularity. Empty when
+    the states agree. *)
+
+val diff_live :
+  ?except:int list ->
+  ?is_private:(int -> bool) ->
+  ?pc:bool ->
+  mem:[ `None | `Dirty | `Full ] ->
+  got:Alpha.Interp.t ->
+  want:Alpha.Interp.t ->
+  unit ->
+  mismatch list
+(** Compare two live interpreter states. [got] is the DBT VM's state,
+    [want] the reference. [except] (default AT and GP) lists registers to
+    skip. [mem] selects no memory comparison, only pages marked dirty
+    (requires {!Machine.Memory.set_dirty_tracking} on both), or every
+    mapped page; a memory divergence is reported as the first mismatching
+    byte. [pc] (default false) also compares the PC — only meaningful
+    where the VM's interpreter PC is up to date, i.e. not at segment
+    boundaries, where the exit has not been applied yet. *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+val mismatch_to_string : mismatch -> string
+val pp : Format.formatter -> t -> unit
+(** Human-readable snapshot: nonzero registers, PC, page digests. *)

@@ -15,4 +15,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
       ("pool", Test_pool.suite);
+      ("oracle", Test_oracle.suite);
     ]

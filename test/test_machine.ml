@@ -49,6 +49,27 @@ let test_mem_cross_chunk () =
   Memory.set_u16 m addr2 0xcafe;
   check Alcotest.int "straddle u16" 0xcafe (Memory.get_u16 m addr2)
 
+let test_mem_dirty_tracking () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0 ~len:(4 * 65536);
+  Memory.set_u8 m 0x10 1;
+  check Alcotest.(list int) "off by default: nothing recorded" []
+    (Memory.dirty_chunks m);
+  Memory.set_dirty_tracking m true;
+  Memory.set_u8 m 0x20 2;
+  Memory.set_i64 m (3 * 65536) 9L;
+  (* a straddling store dirties both chunks via its decomposed halves *)
+  Memory.set_i64 m (2 * 65536 - 4) 0x1122334455667788L;
+  check Alcotest.(list int) "written chunks, sorted" [ 0; 1; 2; 3 ]
+    (Memory.dirty_chunks m);
+  check Alcotest.bool "chunk bytes reachable" true
+    (Memory.chunk_bytes m 0 <> None);
+  Memory.clear_dirty m;
+  check Alcotest.(list int) "cleared" [] (Memory.dirty_chunks m);
+  (* reads never dirty *)
+  ignore (Memory.get_i64 m 0x10);
+  check Alcotest.(list int) "reads don't dirty" [] (Memory.dirty_chunks m)
+
 let prop_mem_roundtrip =
   QCheck.Test.make ~name:"memory i64 roundtrip" ~count:500
     QCheck.(pair (int_bound 0xfff0) int64)
@@ -193,13 +214,13 @@ let test_ras_overflow_wraps () =
 
 let test_dras_match () =
   let d = Dual_ras.create () in
-  Dual_ras.push d ~v_addr:0x1000 ~i_addr:77;
+  Dual_ras.push d ~v_addr:0x1000 ~i_addr:(Some 77);
   check Alcotest.(option int) "verified pop" (Some 77)
     (Dual_ras.pop_verify d ~v_actual:0x1000)
 
 let test_dras_mismatch () =
   let d = Dual_ras.create () in
-  Dual_ras.push d ~v_addr:0x1000 ~i_addr:77;
+  Dual_ras.push d ~v_addr:0x1000 ~i_addr:(Some 77);
   check Alcotest.(option int) "stale pair rejected" None
     (Dual_ras.pop_verify d ~v_actual:0x2000);
   check Alcotest.(option int) "empty stack rejected" None
@@ -207,11 +228,25 @@ let test_dras_mismatch () =
 
 let test_dras_nested_calls () =
   let d = Dual_ras.create () in
-  Dual_ras.push d ~v_addr:10 ~i_addr:100;
-  Dual_ras.push d ~v_addr:20 ~i_addr:200;
+  Dual_ras.push d ~v_addr:10 ~i_addr:(Some 100);
+  Dual_ras.push d ~v_addr:20 ~i_addr:(Some 200);
   check Alcotest.(option int) "inner" (Some 200) (Dual_ras.pop_verify d ~v_actual:20);
   check Alcotest.(option int) "outer" (Some 100) (Dual_ras.pop_verify d ~v_actual:10);
   check (Alcotest.float 0.01) "hit rate" 1.0 (Dual_ras.hit_rate d)
+
+(* A call whose return point is untranslated pushes no I-address. The pop
+   must verify the nesting (consume the slot) but report a miss — the old
+   [-1] integer sentinel could leak out as a "live" target here. *)
+let test_dras_untranslated_return () =
+  let d = Dual_ras.create () in
+  Dual_ras.push d ~v_addr:10 ~i_addr:(Some 100);
+  Dual_ras.push d ~v_addr:20 ~i_addr:None;
+  check Alcotest.(option int) "no-target pair is a miss" None
+    (Dual_ras.pop_verify d ~v_actual:20);
+  check Alcotest.(option int) "nesting stays aligned" (Some 100)
+    (Dual_ras.pop_verify d ~v_actual:10);
+  check Alcotest.int "only the live pop counts as a hit" 1 d.hits;
+  check Alcotest.int "both pops counted" 2 d.pops
 
 let prop_dras_balanced =
   QCheck.Test.make ~name:"dual-RAS: balanced call/return always verifies"
@@ -219,7 +254,7 @@ let prop_dras_balanced =
     QCheck.(list_of_size (Gen.int_range 1 8) (pair small_nat small_nat))
     (fun pairs ->
       let d = Dual_ras.create () in
-      List.iter (fun (v, i) -> Dual_ras.push d ~v_addr:v ~i_addr:i) pairs;
+      List.iter (fun (v, i) -> Dual_ras.push d ~v_addr:v ~i_addr:(Some i)) pairs;
       List.for_all
         (fun (v, i) -> Dual_ras.pop_verify d ~v_actual:v = Some i)
         (List.rev pairs))
@@ -238,6 +273,7 @@ let suite =
     ("memory little-endian layout", `Quick, test_mem_endianness);
     ("memory fault on unmapped", `Quick, test_mem_fault);
     ("memory cross-chunk access", `Quick, test_mem_cross_chunk);
+    ("memory dirty-chunk tracking", `Quick, test_mem_dirty_tracking);
     ("cache hit/miss", `Quick, test_cache_hit_miss);
     ("cache LRU eviction", `Quick, test_cache_lru_eviction);
     ("cache full capacity hits", `Quick, test_cache_capacity);
@@ -252,6 +288,7 @@ let suite =
     ("dual-ras verified return", `Quick, test_dras_match);
     ("dual-ras mismatch falls through", `Quick, test_dras_mismatch);
     ("dual-ras nested calls", `Quick, test_dras_nested_calls);
+    ("dual-ras untranslated return point", `Quick, test_dras_untranslated_return);
     ("rng determinism", `Quick, test_rng_deterministic);
     qtest prop_mem_roundtrip;
     qtest prop_cache_miss_bounded;

@@ -1,0 +1,217 @@
+(* Tests for the lockstep differential oracle: agreement across every
+   backend/chaining mode on generated programs, trap/PEI repair and
+   mid-run flush coverage, the delta-debugging shrinker, the
+   corrupt-state self-test (the oracle must catch an injected bug), and
+   the interpreter-reentry accounting invariant the oracle relies on. *)
+
+open Oracle
+
+let check = Alcotest.check
+
+let asm = Alpha.Assembler.assemble
+
+let agree name result =
+  match result with
+  | Lockstep.Agree c -> c
+  | Lockstep.Diverge d ->
+    Alcotest.failf "%s: unexpected divergence:@\n%a" name Lockstep.pp_divergence
+      d
+
+(* ---------- generated programs agree in every mode ---------- *)
+
+let test_lockstep_agrees () =
+  for seed = 1 to 6 do
+    let prog = Gen.generate ~seed in
+    let image = Gen.assemble prog in
+    List.iter
+      (fun mode ->
+        let name = Printf.sprintf "seed %d %s" seed (Lockstep.mode_name mode) in
+        let c = agree name (Lockstep.run ~mode image) in
+        check Alcotest.bool (name ^ " retired > 0") true (c.Lockstep.retired > 0))
+      Lockstep.all_modes
+  done
+
+(* ---------- deterministic trap/PEI repair ---------- *)
+
+(* The faulting instruction sits on the hot path: its effective address
+   is computed from a flag that is 0 on every iteration but one, so by
+   the time it faults the loop is translated and recovery must run
+   through the PEI tables. *)
+let trap_prog body =
+  asm
+    (Printf.sprintf
+       {|
+  .text
+_start:
+  la fp, buf
+  ldiq t0, 7
+  ldiq t8, 40
+loop:
+  cmpeq t8, 3, t9
+%s
+  addq t0, 1, t0
+  subq t8, 1, t8
+  bne t8, loop
+  clr v0
+  call_pal 0
+  .data
+  .align 8
+buf:
+  .space 64
+|}
+       body)
+
+let test_trap_repair () =
+  let cases =
+    [
+      ("unaligned load", "  addq t9, fp, t10\n  ldq t1, 0(t10)", "unaligned");
+      ("unaligned store", "  addq t9, fp, t10\n  stq t0, 0(t10)", "unaligned");
+      ( "unmapped load",
+        "  sll t9, 23, t10\n  addq t10, fp, t10\n  ldq t1, 0(t10)",
+        "mem_fault" );
+      ( "unmapped store",
+        "  sll t9, 23, t10\n  addq t10, fp, t10\n  stq t0, 0(t10)",
+        "mem_fault" );
+    ]
+  in
+  List.iter
+    (fun (what, body, kind) ->
+      let image = trap_prog body in
+      List.iter
+        (fun mode ->
+          let name = Printf.sprintf "%s %s" what (Lockstep.mode_name mode) in
+          let c = agree name (Lockstep.run ~mode image) in
+          check Alcotest.(option string) (name ^ " trap kind") (Some kind)
+            c.Lockstep.trap;
+          check Alcotest.bool
+            (name ^ " recovered in translated code")
+            true
+            (c.Lockstep.trap_recoveries >= 1))
+        Lockstep.all_modes)
+    cases
+
+(* PAL call in the hot loop: a segment boundary every iteration. s0 is
+   never written by the program, so corrupting it at a boundary cannot be
+   masked by later writes and must surface at the next comparison. *)
+let corrupt_prog () =
+  asm
+    {|
+  .text
+_start:
+  ldiq t0, 1
+  ldiq t8, 40
+loop:
+  addq t0, 3, t0
+  and t0, 63, a0
+  addq a0, 48, a0
+  call_pal 1
+  subq t8, 1, t8
+  bne t8, loop
+  clr v0
+  call_pal 0
+|}
+
+(* ---------- flush injection mid-run ---------- *)
+
+(* In steady state the dispatch table keeps execution inside translated
+   code, so boundaries are rare; the PAL call in [corrupt_prog] forces an
+   exit — and thus a flush opportunity — every iteration. *)
+let test_flush_midrun () =
+  let image = corrupt_prog () in
+  List.iter
+    (fun mode ->
+      let name = Printf.sprintf "flush %s" (Lockstep.mode_name mode) in
+      let c = agree name (Lockstep.run ~flush_every:2 ~mode image) in
+      check Alcotest.bool (name ^ " flushed") true (c.Lockstep.flushes >= 1);
+      (* the program has a single hot loop, so more than one formed
+         superblock means fragments re-formed after a flush *)
+      check Alcotest.bool
+        (name ^ " re-formed superblocks")
+        true
+        (c.Lockstep.superblocks >= 2))
+    Lockstep.all_modes
+
+(* ---------- the oracle catches an injected bug ---------- *)
+
+let test_catches_corruption () =
+  List.iter
+    (fun mode ->
+      let name = Printf.sprintf "corrupt %s" (Lockstep.mode_name mode) in
+      let corrupt k (vm : Core.Vm.t) =
+        if k = 3 then Alpha.Interp.set vm.interp 9 0xdeadbeefL
+      in
+      match Lockstep.run ~corrupt ~mode (corrupt_prog ()) with
+      | Lockstep.Agree _ -> Alcotest.failf "%s: corruption went undetected" name
+      | Lockstep.Diverge d ->
+        check Alcotest.bool (name ^ " caught at a boundary") true
+          (String.length d.Lockstep.where >= 8
+          && String.sub d.Lockstep.where 0 8 = "boundary");
+        check Alcotest.bool (name ^ " blames s0") true
+          (List.exists
+             (function Snapshot.Reg { r = 9; _ } -> true | _ -> false)
+             d.Lockstep.mismatches);
+        check Alcotest.bool (name ^ " has fragment disasm") true
+          (d.Lockstep.frag_disasm <> None))
+    [
+      List.nth Lockstep.all_modes 0 (* acc/basic/no_pred *);
+      List.nth Lockstep.all_modes 5 (* acc/modified/sw_pred.ras *);
+      List.nth Lockstep.all_modes 8 (* straight/no_pred *);
+    ]
+
+(* ---------- ddmin shrinker ---------- *)
+
+let test_ddmin () =
+  let tests = ref 0 in
+  let still_fails l =
+    incr tests;
+    List.mem 7 l && List.mem 13 l
+  in
+  let xs = List.init 20 (fun i -> i + 1) in
+  let min = Shrink.minimize ~still_fails xs in
+  check Alcotest.(list int) "1-minimal" [ 7; 13 ] min;
+  check Alcotest.bool "bounded" true (!tests <= 400);
+  (* a passing input is returned unchanged *)
+  let id = Shrink.minimize ~still_fails:(fun _ -> false) xs in
+  check Alcotest.(list int) "non-failing unchanged" xs id
+
+(* ---------- interpreter-reentry accounting invariant ---------- *)
+
+(* Every interpreted V-insn — including post-PAL and post-trap-recovery
+   reentry steps — must be counted exactly once in both the VM's
+   [interp_insns] and the cost model. The golden interpreter's [icount]
+   over the same program bounds the total. *)
+let test_reentry_accounting () =
+  let image = corrupt_prog () in
+  List.iter
+    (fun mode ->
+      let name = Printf.sprintf "accounting %s" (Lockstep.mode_name mode) in
+      let cfg =
+        {
+          Core.Config.default with
+          isa = mode.Lockstep.isa;
+          chaining = mode.Lockstep.chaining;
+          fuse_mem = mode.Lockstep.fuse_mem;
+          hot_threshold = 10;
+        }
+      in
+      let vm = Core.Vm.create ~cfg ~kind:mode.Lockstep.kind image in
+      (match Core.Vm.run ~fuel:1_000_000 vm with
+      | Core.Vm.Exit 0 -> ()
+      | _ -> Alcotest.failf "%s: expected clean exit" name);
+      check Alcotest.int (name ^ " vm counter = interp icount")
+        vm.Core.Vm.interp.icount vm.Core.Vm.interp_insns;
+      check Alcotest.int (name ^ " cost counter = interp icount")
+        vm.Core.Vm.interp.icount (Core.Vm.cost vm).Core.Cost.interp_insns)
+    Lockstep.all_modes
+
+let suite =
+  [
+    Alcotest.test_case "lockstep agrees across modes" `Slow test_lockstep_agrees;
+    Alcotest.test_case "trap/PEI repair in every mode" `Quick test_trap_repair;
+    Alcotest.test_case "flush mid-run agrees" `Quick test_flush_midrun;
+    Alcotest.test_case "injected corruption is caught" `Quick
+      test_catches_corruption;
+    Alcotest.test_case "ddmin shrinker" `Quick test_ddmin;
+    Alcotest.test_case "reentry accounting invariant" `Quick
+      test_reentry_accounting;
+  ]
