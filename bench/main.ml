@@ -19,6 +19,7 @@ let list_only = ref false
 let csv_dir = ref None
 let jobs = ref 0 (* 0 = Domain.recommended_domain_count () *)
 let bench_json = ref None
+let repeats = ref 3
 
 let args =
   [
@@ -28,6 +29,8 @@ let args =
      "N simulation worker domains (default: recommended domain count)");
     ("--bench-json", Arg.String (fun f -> bench_json := Some f),
      "FILE write per-experiment wall-clock seconds as JSON");
+    ("--repeats", Arg.Set_int repeats,
+     "N best-of-N timing repeats for functional-throughput (default 3)");
     ("--bechamel", Arg.Set bechamel, " run Bechamel microbenchmarks");
     ("--csv", Arg.String (fun d -> csv_dir := Some d),
      "DIR export per-benchmark series as CSV files");
@@ -162,6 +165,39 @@ let run_bechamel () =
     results;
   List.iter print_endline (List.sort compare !rows)
 
+(* ---------- functional throughput (threaded vs. match engine) ---------- *)
+
+(* Not a paper experiment: wall-clock throughput of the VM's two translated
+   execution engines, with full cross-engine state verification. Exit
+   status 1 on any divergence, so CI can gate on it (@perf-smoke). *)
+let run_throughput fmt ~scale ~repeats =
+  let rows = Harness.Throughput.sweep ~scale ~repeats () in
+  ignore (Harness.Throughput.render fmt rows);
+  Format.pp_print_flush fmt ();
+  Option.iter
+    (fun path ->
+      (* jobs=1 vs jobs=4 aggregate rows only for the committed record:
+         they re-run the sweep and are not needed for the CI gate *)
+      let jobs_rows =
+        [
+          Harness.Throughput.jobs_sweep ~jobs:1 ~scale ();
+          Harness.Throughput.jobs_sweep ~jobs:4 ~scale ();
+        ]
+      in
+      Harness.Throughput.write_json path ~scale
+        ~fuel:Harness.Throughput.default_fuel ~repeats rows jobs_rows;
+      Printf.printf "wrote %s\n" path)
+    !bench_json;
+  if
+    List.exists
+      (fun (r : Harness.Throughput.row) -> r.mismatches <> [])
+      rows
+  then begin
+    prerr_endline
+      "functional-throughput: threaded engine diverged from match engine";
+    exit 1
+  end
+
 (* Plan -> parallel cache warm -> serial render. The render functions only
    read memoised results, so console output is byte-identical at any job
    count; rows are formatted in the same order as a serial run. *)
@@ -184,10 +220,13 @@ let run_experiments fmt exps ~scale =
 
 let () =
   Arg.parse args (fun _ -> ()) "ILDP DBT benchmark harness";
-  if !list_only then
+  if !list_only then begin
     List.iter
       (fun (e : Harness.Experiments.exp) -> Printf.printf "%-8s %s\n" e.id e.desc)
-      Harness.Experiments.all
+      Harness.Experiments.all;
+    Printf.printf "%-8s %s\n" "functional-throughput"
+      "VM execution-engine throughput (threaded vs. match), verified"
+  end
   else if !bechamel then run_bechamel ()
   else if !csv_dir <> None then begin
     let dir = Option.get !csv_dir in
@@ -214,6 +253,8 @@ let () =
       (List.length Workloads.all) !scale
       (String.concat " " (Harness.Experiments.names ()));
     (match !experiment with
+    | Some "functional-throughput" ->
+      run_throughput fmt ~scale:!scale ~repeats:!repeats
     | Some id -> (
       match Harness.Experiments.find id with
       | Some e -> run_experiments fmt [ e ] ~scale:!scale

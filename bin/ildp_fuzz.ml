@@ -99,10 +99,10 @@ type report = {
 (* One seed under one mode; on divergence, minimize the block list with
    ddmin (the predicate re-runs the oracle on the rendered subset) and
    re-derive the report from the minimized program. *)
-let run_seed_mode ~granularity ~flush_every seed mode (prog : Oracle.Gen.program)
-    =
+let run_seed_mode ~granularity ~threaded ~flush_every seed mode
+    (prog : Oracle.Gen.program) =
   let go blocks =
-    Oracle.Lockstep.run ~granularity ~flush_every ~mode
+    Oracle.Lockstep.run ~granularity ~threaded ~flush_every ~mode
       (Oracle.Gen.assemble ~blocks prog)
   in
   match go prog.blocks with
@@ -131,7 +131,7 @@ let run_seed_mode ~granularity ~flush_every seed mode (prog : Oracle.Gen.program
       }
 
 (* A shard of contiguous seeds processed on one worker domain. *)
-let run_shard ~modes ~granularity ~flush_every ~deadline seeds =
+let run_shard ~modes ~granularity ~threaded ~flush_every ~deadline seeds =
   let tot = totals_zero () in
   let reports = ref [] in
   let errors = ref [] in
@@ -150,7 +150,9 @@ let run_shard ~modes ~granularity ~flush_every ~deadline seeds =
         in
         List.iter
           (fun mode ->
-            match run_seed_mode ~granularity ~flush_every seed mode prog with
+            match
+              run_seed_mode ~granularity ~threaded ~flush_every seed mode prog
+            with
             | Ok c -> add_cov tot c
             | Error r -> reports := r :: !reports
             | exception e ->
@@ -177,10 +179,12 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json oc ~programs ~seed ~count ~jobs ~modes ~tot ~reports ~errors =
+let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~tot ~reports
+    ~errors =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"ildp-dbt-fuzz/1\",\n";
+  p "  \"engine\": \"%s\",\n" (if threaded then "threaded" else "instrumented");
   p "  \"programs\": %d,\n" programs;
   p "  \"seed_range\": [%d, %d],\n" seed (seed + count - 1);
   p "  \"jobs\": %d,\n" jobs;
@@ -226,8 +230,8 @@ let write_json oc ~programs ~seed ~count ~jobs ~modes ~tot ~reports ~errors =
        (List.map (fun e -> "\"" ^ json_escape e ^ "\"") errors));
   p "}\n"
 
-let run count seed minutes jobs modes_arg flush_every per_insn json_path quiet
-    =
+let run count seed minutes jobs modes_arg flush_every per_insn threaded
+    json_path quiet =
   let modes =
     if modes_arg = "all" then Oracle.Lockstep.all_modes
     else
@@ -263,8 +267,8 @@ let run count seed minutes jobs modes_arg flush_every per_insn json_path quiet
         Array.to_list shards
         |> List.map (fun shard ->
                Harness.Pool.submit pool (fun () ->
-                   run_shard ~modes ~granularity ~flush_every ~deadline
-                     (List.rev shard)))
+                   run_shard ~modes ~granularity ~threaded ~flush_every
+                     ~deadline (List.rev shard)))
         |> List.map (Harness.Pool.await))
   in
   let tot = totals_zero () in
@@ -296,8 +300,8 @@ let run count seed minutes jobs modes_arg flush_every per_insn json_path quiet
     List.iter (fun e -> Printf.eprintf "ERROR: %s\n" e) !errors
   end;
   let emit oc =
-    write_json oc ~programs:!programs ~seed ~count ~jobs ~modes ~tot ~reports
-      ~errors:!errors
+    write_json oc ~programs:!programs ~seed ~count ~jobs ~modes ~threaded ~tot
+      ~reports ~errors:!errors
   in
   (match json_path with
   | "-" -> emit stdout
@@ -335,6 +339,11 @@ let cmd =
            ~doc:"Also compare registers after every retired V-ISA \
                  instruction where sound (straightening backend).")
   in
+  let threaded =
+    Arg.(value & flag & info [ "threaded" ]
+           ~doc:"Run the VM sink-less so translated execution takes the \
+                 threaded-code engine (boundary granularity only).")
+  in
   let json =
     Arg.(value & opt string "-" & info [ "json" ]
            ~doc:"Write the JSON summary to this file ('-' = stdout).")
@@ -347,6 +356,6 @@ let cmd =
        ~doc:"Differential fuzzing of the DBT against the Alpha interpreter")
     Term.(
       const run $ count $ seed $ minutes $ jobs $ modes $ flush_every
-      $ per_insn $ json $ quiet)
+      $ per_insn $ threaded $ json $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -12,6 +12,16 @@ type isa = Basic | Modified
      dual-address hardware RAS for returns (the paper's baseline). *)
 type chaining = No_pred | Sw_pred_no_ras | Sw_pred_ras
 
+(* Translated-code execution engine:
+   - [Threaded]: direct-threaded code — every cache slot is compiled into a
+     specialized closure at first use and [run] is a tight trampoline. No
+     per-instruction events, so it is the functional-mode (sink-less) path;
+   - [Matched]: the instrumented variant-match engine. Attaching a timing
+     sink always selects it regardless of this field, since only it emits
+     per-instruction events; forcing it here gives a sink-free baseline for
+     throughput comparisons. *)
+type engine = Threaded | Matched
+
 type t = {
   isa : isa;
   chaining : chaining;
@@ -29,6 +39,8 @@ type t = {
      ("this puts more pressure on decoding hardware but reduces pressure
      on fetch and reorder buffer mechanisms"). Default off (Section 2.1's
      addressing modes perform no computation). *)
+  engine : engine;
+  (* execution engine for sink-less translated execution; see {!engine} *)
 }
 
 let default =
@@ -40,9 +52,12 @@ let default =
     n_accs = 4;
     stop_at_translated = false;
     fuse_mem = false;
+    engine = Threaded;
   }
 
 let isa_name = function Basic -> "basic" | Modified -> "modified"
+
+let engine_name = function Threaded -> "threaded" | Matched -> "matched"
 
 let chaining_name = function
   | No_pred -> "no_pred"

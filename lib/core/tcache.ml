@@ -59,8 +59,17 @@ struct
     addr : int Vec.t; (* byte address of each slot *)
     strand_start : bool Vec.t; (* slot begins a new strand (ILDP steering) *)
     frags : frag Vec.t;
+    entry_ix : int Vec.t;
+    (* per-slot fragment id when the slot is a fragment entry, -1 otherwise:
+       the O(1) entry map the execution engines probe on taken transfers *)
+    mutable next_entry : int;
+    (* fragment id to stamp on the next pushed slot ([install] always
+       precedes the push of its entry slot), -1 when none is pending *)
+    patch_log : int Vec.t; (* slots patched since the last [clear] *)
+    mutable gen : int;
+    (* generation, bumped by [clear]: compiled-code caches that shadow the
+       slot array key their validity on it *)
     by_ventry : (int, int) Hashtbl.t; (* V-address -> entry slot *)
-    entry_frag : (int, frag) Hashtbl.t; (* entry slot -> fragment *)
     peis : (int, pei) Hashtbl.t; (* slot -> PEI record *)
     pending : (int, (int -> unit) list) Hashtbl.t;
     (* V-address -> patch closures to run when it gets translated *)
@@ -76,8 +85,11 @@ struct
       frags = Vec.create ~dummy:{
         id = -1; entry_slot = 0; v_start = 0; n_slots = 0; v_insns = 0;
         v_bytes = 0; i_bytes = 0; exec_count = 0; cat_count = [||] };
+      entry_ix = Vec.create ~dummy:(-1);
+      next_entry = -1;
+      patch_log = Vec.create ~dummy:0;
+      gen = 0;
       by_ventry = Hashtbl.create 256;
-      entry_frag = Hashtbl.create 256;
       peis = Hashtbl.create 256;
       pending = Hashtbl.create 256;
       base;
@@ -85,6 +97,7 @@ struct
     }
 
   let n_slots t = Vec.length t.code
+  let generation t = t.gen
 
   (* Append one instruction; returns its slot. *)
   let push ?(strand_start = false) t insn =
@@ -92,6 +105,8 @@ struct
     Vec.push t.code insn;
     Vec.push t.addr t.next_addr;
     Vec.push t.strand_start strand_start;
+    Vec.push t.entry_ix t.next_entry;
+    t.next_entry <- -1;
     t.next_addr <- t.next_addr + C.bytes insn;
     slot
 
@@ -100,14 +115,30 @@ struct
   let starts_strand t slot = Vec.get t.strand_start slot
 
   (* In-place patch. The byte layout is stable because every patch replaces
-     an instruction with one of the same encoded size (checked). *)
+     an instruction with one of the same encoded size (checked). The patch
+     log lets compiled-code caches recompile exactly the rewritten slots. *)
   let patch t slot insn =
     assert (C.bytes insn = C.bytes (Vec.get t.code slot));
-    Vec.set t.code slot insn
+    Vec.set t.code slot insn;
+    Vec.push t.patch_log slot
+
+  let patch_count t = Vec.length t.patch_log
+  let patched_slot t i = Vec.get t.patch_log i
 
   let lookup t v_addr = Hashtbl.find_opt t.by_ventry v_addr
   let is_translated t v_addr = Hashtbl.mem t.by_ventry v_addr
-  let frag_of_entry t entry_slot = Hashtbl.find_opt t.entry_frag entry_slot
+
+  (* O(1), allocation-free entry probe: fragment id of [slot] when it is a
+     fragment entry, -1 otherwise (including out-of-range slots). *)
+  let frag_id_of_entry t slot =
+    if slot >= 0 && slot < Vec.length t.entry_ix then Vec.get t.entry_ix slot
+    else -1
+
+  let frag_by_id t id = Vec.get t.frags id
+
+  let frag_of_entry t entry_slot =
+    let id = frag_id_of_entry t entry_slot in
+    if id >= 0 then Some (Vec.get t.frags id) else None
 
   (* Register a patch closure to run when [v_addr] gets translated; runs
      immediately if it already is. *)
@@ -124,6 +155,9 @@ struct
   (* Declare a new fragment entry: binds the V-address, creates metadata,
      and fires any pending patches against this address. *)
   let install t ~v_start ~entry_slot =
+    (* the entry-index stamp below relies on the entry slot being the very
+       next slot pushed — which is how both translators call us *)
+    assert (entry_slot = Vec.length t.code);
     let f =
       {
         id = Vec.length t.frags;
@@ -139,7 +173,7 @@ struct
     in
     Vec.push t.frags f;
     Hashtbl.replace t.by_ventry v_start entry_slot;
-    Hashtbl.replace t.entry_frag entry_slot f;
+    t.next_entry <- f.id;
     (match Hashtbl.find_opt t.pending v_start with
     | Some patches ->
       Hashtbl.remove t.pending v_start;
@@ -164,8 +198,11 @@ struct
     Vec.clear t.addr;
     Vec.clear t.strand_start;
     Vec.clear t.frags;
+    Vec.clear t.entry_ix;
+    Vec.clear t.patch_log;
+    t.next_entry <- -1;
+    t.gen <- t.gen + 1;
     Hashtbl.reset t.by_ventry;
-    Hashtbl.reset t.entry_frag;
     Hashtbl.reset t.peis;
     Hashtbl.reset t.pending;
     t.next_addr <- t.base

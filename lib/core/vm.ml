@@ -122,7 +122,9 @@ let dual_ras t =
    proper pairs). Pushes use the current translation of the return address
    when one exists. *)
 let interp_ras_update t (info : Alpha.Interp.exec_info) =
-  if t.cfg.chaining = Config.Sw_pred_ras then begin
+  match t.cfg.chaining with
+  | Config.No_pred | Config.Sw_pred_no_ras -> ()
+  | Config.Sw_pred_ras -> (
     let dras = dual_ras t in
     match info.insn with
     | Bsr _ | Jump (Jsr, _, _) ->
@@ -133,8 +135,7 @@ let interp_ras_update t (info : Alpha.Interp.exec_info) =
       Machine.Dual_ras.push dras ~v_addr:v_ret ~i_addr:(entry_of t v_ret)
     | Jump (Ret, _, _) ->
       ignore (Machine.Dual_ras.pop_verify dras ~v_actual:info.next_pc)
-    | _ -> ()
-  end
+    | _ -> ())
 
 (* Every single V-ISA instruction the VM interprets — in the profiling loop,
    on post-PAL reentry, on post-trap-recovery retry — must go through this
@@ -232,7 +233,8 @@ let run ?sink ?boundary ?(fuel = max_int) t : outcome =
     | Trapped tr -> result := Some (Fault tr)
     | Step _ -> candidate := false
   in
-  while !result = None do
+  let running () = match !result with None -> true | Some _ -> false in
+  while running () do
     if t.fuel <= 0 then result := Some Out_of_fuel
     else begin
       let pc = t.interp.pc in

@@ -124,7 +124,8 @@ let acc_raw ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
   let prog = Workloads.program ~scale w in
   let cfg =
     {
-      Core.Config.isa;
+      Core.Config.default with
+      isa;
       chaining;
       n_accs;
       fuse_mem;
@@ -362,9 +363,9 @@ let prewarm ~pool reqs =
       (fun err fut ->
         match Pool.await fut with
         | () -> err
-        | exception e ->
+        | exception e -> (
           let bt = Printexc.get_raw_backtrace () in
-          if err = None then Some (e, bt) else err)
+          match err with None -> Some (e, bt) | Some _ -> err))
       None futs
   in
   match first_error with

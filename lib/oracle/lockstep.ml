@@ -128,12 +128,16 @@ let fragment_at vm i_pc =
                 Alpha.Disasm.to_string (Core.Tcache.Straight.get ctx.tc s)))
     | None, None -> None
 
-let run ?(granularity = Boundary) ?(flush_every = 0) ?(fuel = 50_000_000)
-    ?(hot_threshold = 10) ?corrupt ~mode prog =
+let run ?(granularity = Boundary) ?(threaded = false) ?(flush_every = 0)
+    ?(fuel = 50_000_000) ?(hot_threshold = 10) ?corrupt ~mode prog =
   (* per-instruction comparison is unsound mid-fragment for accumulator
-     backends (deferred state copies); restrict it to straightened code *)
+     backends (deferred state copies); restrict it to straightened code.
+     The threaded-code engine emits no events at all, so under [threaded]
+     everything degrades to boundary granularity. *)
   let granularity =
-    if mode.kind = Core.Vm.Acc then Boundary else granularity
+    match mode.kind with
+    | Core.Vm.Acc -> Boundary
+    | Core.Vm.Straight_only -> if threaded then Boundary else granularity
   in
   let golden = Alpha.Interp.create prog in
   let cfg =
@@ -172,9 +176,12 @@ let run ?(granularity = Boundary) ?(flush_every = 0) ?(fuel = 50_000_000)
            v_range = Option.map snd frag;
          })
   in
+  let golden_running () =
+    match !golden_end with None -> true | Some _ -> false
+  in
   (* Single-step the reference to the VM's retirement count. *)
   let advance ~where target =
-    while golden.icount < target && !golden_end = None do
+    while golden.icount < target && golden_running () do
       match Alpha.Interp.step golden with
       | Step _ -> ()
       | Halted c -> golden_end := Some (Core.Vm.Exit c)
@@ -216,13 +223,18 @@ let run ?(granularity = Boundary) ?(flush_every = 0) ?(fuel = 50_000_000)
   in
   let sink (ev : Machine.Ev.t) =
     last_i_pc := ev.pc;
-    if granularity = Per_insn && ev.alpha_count > 0 then begin
+    match granularity with
+    | Per_insn when ev.alpha_count > 0 ->
       incr insn_checks;
       check ~where:(Printf.sprintf "insn @%#x" ev.pc) ~mem:`None
-    end
+    | Per_insn | Boundary -> ()
   in
   try
-    let outcome = Core.Vm.run ~sink ~boundary ~fuel vm in
+    (* [threaded] runs sink-less so the VM takes the threaded-code engine:
+       the oracle then validates that engine, at the cost of losing the
+       fragment-disassembly context in divergence reports *)
+    let sink = if threaded then None else Some sink in
+    let outcome = Core.Vm.run ?sink ~boundary ~fuel vm in
     let outcome_str, trap =
       match outcome with
       | Core.Vm.Exit c -> (Printf.sprintf "exit:%d" c, None)

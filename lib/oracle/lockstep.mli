@@ -71,6 +71,7 @@ type result = Agree of coverage | Diverge of divergence
 
 val run :
   ?granularity:granularity ->
+  ?threaded:bool ->
   ?flush_every:int ->
   ?fuel:int ->
   ?hot_threshold:int ->
@@ -79,10 +80,15 @@ val run :
   Alpha.Program.t ->
   result
 (** Execute [prog] under [mode] with the reference in lockstep.
-    [flush_every] > 0 injects a {!Core.Vm.flush} every that many segment
-    boundaries (default 0 = never). [hot_threshold] defaults to 10 so
-    short programs reach translated code. [corrupt], a test hook, runs
-    after the comparison at each boundary (1-based index) and may mutate
-    VM state to prove the oracle catches it. *)
+    [threaded] (default false) runs the VM without an event sink so
+    translated execution takes the threaded-code engine — the oracle then
+    validates that engine instead of the instrumented one, at the cost of
+    per-instruction granularity and fragment-disassembly context in
+    divergence reports. [flush_every] > 0 injects a {!Core.Vm.flush}
+    every that many segment boundaries (default 0 = never).
+    [hot_threshold] defaults to 10 so short programs reach translated
+    code. [corrupt], a test hook, runs after the comparison at each
+    boundary (1-based index) and may mutate VM state to prove the oracle
+    catches it. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit

@@ -16,4 +16,5 @@ let () =
       ("harness", Test_harness.suite);
       ("pool", Test_pool.suite);
       ("oracle", Test_oracle.suite);
+      ("exec_closure", Test_exec_closure.suite);
     ]
