@@ -20,6 +20,9 @@ let csv_dir = ref None
 let jobs = ref 0 (* 0 = Domain.recommended_domain_count () *)
 let bench_json = ref None
 let repeats = ref 3
+let telemetry_json = ref None
+let check_file = ref None
+let check_tol = ref 0.10
 
 let args =
   [
@@ -31,6 +34,12 @@ let args =
      "FILE write per-experiment wall-clock seconds as JSON");
     ("--repeats", Arg.Set_int repeats,
      "N best-of-N timing repeats for functional-throughput (default 3)");
+    ("--telemetry-json", Arg.String (fun f -> telemetry_json := Some f),
+     "FILE enable telemetry; write counters/spans as JSON (+ .csv sibling)");
+    ("--check", Arg.String (fun f -> check_file := Some f),
+     "FILE regression-check against a committed baseline; exit 1 on failure");
+    ("--check-tol", Arg.Set_float check_tol,
+     "T relative tolerance for --check speedup comparisons (default 0.10)");
     ("--bechamel", Arg.Set bechamel, " run Bechamel microbenchmarks");
     ("--csv", Arg.String (fun d -> csv_dir := Some d),
      "DIR export per-benchmark series as CSV files");
@@ -42,40 +51,27 @@ let effective_jobs () =
 
 (* ---------- per-experiment wall-clock JSON ---------- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
+(* Harness timing record, schema version 2: the /1 payload carried inside
+   the shared export envelope (whose "jobs" field replaces /1's own). *)
 let write_bench_json path ~jobs ~scale timings =
-  let oc =
-    try open_out path
-    with Sys_error msg ->
-      Printf.eprintf "cannot write --bench-json output: %s\n" msg;
-      exit 1
-  in
+  let module J = Obs.Json in
   let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 timings in
-  Printf.fprintf oc
-    "{\n  \"schema\": \"ildp-dbt-bench/1\",\n  \"jobs\": %d,\n  \
-     \"recommended_jobs\": %d,\n  \"scale\": %d,\n  \"experiments\": [\n" jobs
-    (Domain.recommended_domain_count ())
-    scale;
-  List.iteri
-    (fun i (id, secs) ->
-      Printf.fprintf oc "    { \"id\": \"%s\", \"seconds\": %.3f }%s\n"
-        (json_escape id) secs
-        (if i = List.length timings - 1 then "" else ","))
-    timings;
-  Printf.fprintf oc "  ],\n  \"total_seconds\": %.3f\n}\n" total;
-  close_out oc;
+  let doc =
+    Obs.Envelope.wrap ~schema:"ildp-dbt-bench/2" ~jobs
+      [ ("recommended_jobs", J.Int (Domain.recommended_domain_count ()));
+        ("scale", J.Int scale);
+        ("experiments",
+         J.List
+           (List.map
+              (fun (id, secs) ->
+                J.Obj [ ("id", J.String id); ("seconds", J.Float secs) ])
+              timings));
+        ("total_seconds", J.Float total) ]
+  in
+  (try J.write_file path doc
+   with Sys_error msg ->
+     Printf.eprintf "cannot write --bench-json output: %s\n" msg;
+     exit 1);
   Printf.printf "wrote %s\n" path
 
 (* ---------- Bechamel microbenchmarks ---------- *)
@@ -184,7 +180,7 @@ let run_throughput fmt ~scale ~repeats =
           Harness.Throughput.jobs_sweep ~jobs:4 ~scale ();
         ]
       in
-      Harness.Throughput.write_json path ~scale
+      Harness.Throughput.write_json path ~jobs:1 ~scale
         ~fuel:Harness.Throughput.default_fuel ~repeats rows jobs_rows;
       Printf.printf "wrote %s\n" path)
     !bench_json;
@@ -218,9 +214,36 @@ let run_experiments fmt exps ~scale =
         (fun path -> write_bench_json path ~jobs ~scale timings)
         !bench_json)
 
+(* ---------- baseline regression check (--check, CI gate) ---------- *)
+
+let run_check path =
+  let ids =
+    List.map (fun (e : Harness.Experiments.exp) -> e.id) Harness.Experiments.all
+  in
+  let sweep () = Harness.Throughput.sweep ~scale:!scale ~repeats:!repeats () in
+  let r = Harness.Check.run ~tol:!check_tol ~ids ~sweep path in
+  Printf.printf "check %s (tol ±%.0f%%)\n" path (100.0 *. !check_tol);
+  List.iter print_endline r.Harness.Check.lines;
+  if not r.Harness.Check.ok then exit 1
+
 let () =
   Arg.parse args (fun _ -> ()) "ILDP DBT benchmark harness";
-  if !list_only then begin
+  (* Telemetry export covers the whole process (including early exits on
+     verification failure, which is when a counter dump is most wanted),
+     hence the at_exit: worker-domain slabs outlive their domains, so a
+     collect at process end still sees every observation. *)
+  Option.iter
+    (fun path ->
+      Obs.set_enabled true;
+      at_exit (fun () ->
+          let snap = Obs.collect () in
+          Obs.Envelope.write_telemetry path ~jobs:(effective_jobs ()) snap;
+          let csv = Filename.remove_extension path ^ ".csv" in
+          ignore (Harness.Csv.telemetry csv snap);
+          Printf.printf "wrote %s\nwrote %s\n" path csv))
+    !telemetry_json;
+  if !check_file <> None then run_check (Option.get !check_file)
+  else if !list_only then begin
     List.iter
       (fun (e : Harness.Experiments.exp) -> Printf.printf "%-8s %s\n" e.id e.desc)
       Harness.Experiments.all;

@@ -72,6 +72,7 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
     Printf.bprintf buf "V-ISA insns    : %d\n" st.icount;
     Option.iter
       (fun m ->
+        Uarch.Ooo.publish_obs m;
         Printf.bprintf buf "cycles         : %d\n" (Uarch.Ooo.cycles m);
         Printf.bprintf buf "V-ISA IPC      : %.3f\n" (Uarch.Ooo.v_ipc m))
       m
@@ -102,6 +103,9 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
       | None, None -> None
     in
     let outcome = Core.Vm.run ?sink ?boundary ~fuel vm in
+    Core.Vm.publish_obs vm;
+    Option.iter Uarch.Ildp.publish_obs ildp_m;
+    Option.iter Uarch.Ooo.publish_obs ooo_m;
     Buffer.add_string buf (Core.Vm.output vm);
     show_outcome buf outcome;
     Printf.bprintf buf "mode           : %s %s/%s\n"
@@ -155,14 +159,16 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
   end
 
 let run srcs scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
-    disasm fuel jobs =
+    disasm fuel jobs telemetry =
+  Option.iter (fun _ -> Obs.set_enabled true) telemetry;
   let report src =
     let buf = Buffer.create 1024 in
     run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
       n_pe comm disasm fuel;
     Buffer.contents buf
   in
-  match srcs with
+  let used_jobs = ref 1 in
+  (match srcs with
   | [ src ] -> print_string (report src)
   | srcs ->
     (* one job per program; reports print in command-line order *)
@@ -170,13 +176,19 @@ let run srcs scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
       if jobs > 0 then jobs
       else min (List.length srcs) (Domain.recommended_domain_count ())
     in
+    used_jobs := jobs;
     Harness.Pool.with_pool ~jobs (fun pool ->
         srcs
         |> List.map (fun src ->
                (src, Harness.Pool.submit pool (fun () -> report src)))
         |> List.iter (fun (src, fut) ->
                Printf.printf "--- %s ---\n" src;
-               print_string (Harness.Pool.await fut)))
+               print_string (Harness.Pool.await fut))));
+  Option.iter
+    (fun path ->
+      Obs.Envelope.write_telemetry path ~jobs:!used_jobs (Obs.collect ());
+      Printf.printf "wrote %s\n" path)
+    telemetry
 
 let cmd =
   let srcs =
@@ -211,10 +223,14 @@ let cmd =
            ~doc:"Worker domains when running several programs (default: \
                  recommended domain count).")
   in
+  let telemetry =
+    Arg.(value & opt (some string) None & info [ "telemetry-json" ]
+           ~doc:"Enable telemetry and write the counter/span export here.")
+  in
   Cmd.v
     (Cmd.info "ildp_run" ~doc:"Run programs under the ILDP co-designed VM")
     Term.(
       const run $ srcs $ scale $ isa $ chaining $ n_accs $ interp $ straight
-      $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel $ jobs)
+      $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel $ jobs $ telemetry)
 
 let () = exit (Cmd.eval cmd)

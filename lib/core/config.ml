@@ -55,6 +55,13 @@ let default =
     engine = Threaded;
   }
 
+(* Process-wide telemetry switch (an alias of [Obs.enabled], so flipping
+   either name flips both). Off by default: every instrumentation point in
+   the VM, the translators, the caches and the engines degrades to one
+   load-and-branch, and all simulation output is byte-identical to an
+   uninstrumented build. *)
+let telemetry : bool ref = Obs.enabled
+
 let isa_name = function Basic -> "basic" | Modified -> "modified"
 
 let engine_name = function Threaded -> "threaded" | Matched -> "matched"

@@ -43,6 +43,13 @@ val default : t
 (** Modified ISA, dual-RAS chaining, threshold 50, superblock 200, 4
     accumulators — the paper's baseline. *)
 
+val telemetry : bool ref
+(** Process-wide telemetry switch, an alias of {!Obs.enabled}: when
+    false (the default) every instrumentation point costs one
+    load-and-branch and simulation output is byte-identical to an
+    uninstrumented build; when true, counters/histograms/spans
+    accumulate in the {!Obs} registry for [--telemetry-json] export. *)
+
 val isa_name : isa -> string
 val chaining_name : chaining -> string
 val engine_name : engine -> string

@@ -630,6 +630,12 @@ let compile t s : op =
 
 let uncompiled_op : op = fun _ -> failwith "exec_acc: uncompiled slot"
 
+(* Telemetry (names shared with Exec_straight: a VM owns one engine, so
+   the registry aggregates whichever backend ran). *)
+let c_compiles = Obs.counter "engine.compiled_slots"
+let c_replays = Obs.counter "engine.patch_replays"
+let sp_compile = Obs.span "compile_to_closure"
+
 (* Lazily (re)build the compiled-op shadow of the translation cache: reset
    on cache flush (generation bump), compile newly pushed slots, then
    recompile every slot patched since the last sync (chaining patches
@@ -659,18 +665,24 @@ let sync_ops t =
     t.classes <- gc
   end;
   (* compile fresh slots first so late patches to them recompile below *)
-  for sl = t.ops_len to n - 1 do
-    Array.unsafe_set t.ops sl (compile t sl);
-    Array.unsafe_set t.alphas sl (Vec.get t.ctx.slot_alpha sl);
-    Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl)
-  done;
-  t.ops_len <- n;
   let m = Tcache.Acc.patch_count tc in
-  for i = t.patch_mark to m - 1 do
-    let sl = Tcache.Acc.patched_slot tc i in
-    if sl < n then t.ops.(sl) <- compile t sl
-  done;
-  t.patch_mark <- m
+  if n > t.ops_len || m > t.patch_mark then
+    Obs.with_span sp_compile (fun () ->
+        Obs.bump c_compiles (n - t.ops_len);
+        for sl = t.ops_len to n - 1 do
+          Array.unsafe_set t.ops sl (compile t sl);
+          Array.unsafe_set t.alphas sl (Vec.get t.ctx.slot_alpha sl);
+          Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl)
+        done;
+        t.ops_len <- n;
+        for i = t.patch_mark to m - 1 do
+          let sl = Tcache.Acc.patched_slot tc i in
+          if sl < n then begin
+            t.ops.(sl) <- compile t sl;
+            Obs.bump c_replays 1
+          end
+        done;
+        t.patch_mark <- m)
 
 (* Threaded-code trampoline. Statistics and the budget decrement happen
    here, before the op runs (the fault path refunds the faulting

@@ -397,6 +397,11 @@ let compile t s : op =
 
 let uncompiled_op : op = fun _ -> failwith "exec_straight: uncompiled slot"
 
+(* Telemetry: same names as Exec_acc (one VM owns one engine kind). *)
+let c_compiles = Obs.counter "engine.compiled_slots"
+let c_replays = Obs.counter "engine.patch_replays"
+let sp_compile = Obs.span "compile_to_closure"
+
 let sync_ops t =
   let tc = t.ctx.tc in
   let gen = Tcache.Straight.generation tc in
@@ -421,18 +426,24 @@ let sync_ops t =
     t.alphas <- ga;
     t.classes <- gc
   end;
-  for sl = t.ops_len to n - 1 do
-    Array.unsafe_set t.ops sl (compile t sl);
-    Array.unsafe_set t.alphas sl (Vec.get t.ctx.slot_alpha sl);
-    Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl)
-  done;
-  t.ops_len <- n;
   let m = Tcache.Straight.patch_count tc in
-  for i = t.patch_mark to m - 1 do
-    let sl = Tcache.Straight.patched_slot tc i in
-    if sl < n then t.ops.(sl) <- compile t sl
-  done;
-  t.patch_mark <- m
+  if n > t.ops_len || m > t.patch_mark then
+    Obs.with_span sp_compile (fun () ->
+        Obs.bump c_compiles (n - t.ops_len);
+        for sl = t.ops_len to n - 1 do
+          Array.unsafe_set t.ops sl (compile t sl);
+          Array.unsafe_set t.alphas sl (Vec.get t.ctx.slot_alpha sl);
+          Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl)
+        done;
+        t.ops_len <- n;
+        for i = t.patch_mark to m - 1 do
+          let sl = Tcache.Straight.patched_slot tc i in
+          if sl < n then begin
+            t.ops.(sl) <- compile t sl;
+            Obs.bump c_replays 1
+          end
+        done;
+        t.patch_mark <- m)
 
 let run_threaded ?(fuel = max_int) t ~entry : exit =
   sync_ops t;

@@ -137,9 +137,13 @@ let check_regs (insn : A.t) =
   if List.exists bad (A.srcs insn) then raise (Reserved_register at);
   match A.dest insn with Some r when bad r -> raise (Reserved_register r) | _ -> ()
 
+let c_superblocks = Obs.counter "translate.straight.superblocks"
+let c_emitted = Obs.counter "translate.straight.emitted_slots"
+
 let translate ctx mem (sb : Superblock.t) =
   if Array.length sb.entries = 0 then ()
   else begin
+    Obs.bump c_superblocks 1;
     let entries = sb.entries in
     let n = Array.length entries in
     Cost.tick ctx.cost (n * Cost.usage_per_node);
@@ -310,5 +314,6 @@ let translate ctx mem (sb : Superblock.t) =
       entries;
     if not !block_done then emit_uncond_exit ~v_target:v_continue ();
     Tcache.Straight.seal ctx.tc frag;
+    Obs.bump c_emitted frag.n_slots;
     Cost.tick ctx.cost (frag.n_slots * Cost.install_per_insn)
   end

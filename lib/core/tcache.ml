@@ -38,6 +38,20 @@ type frag = {
 
 let n_categories = 7
 
+(* Telemetry (shared by both backend instantiations; the accumulator and
+   straightening caches aggregate into the same names — one VM only ever
+   owns one kind). All sites are load-and-branch when telemetry is off. *)
+let c_installs = Obs.counter "tcache.installs"
+let c_flushes = Obs.counter "tcache.flushes"
+let c_patches = Obs.counter "tcache.patches"
+let c_lookup_hits = Obs.counter "tcache.lookup_hits"
+let c_lookup_misses = Obs.counter "tcache.lookup_misses"
+let c_slots_hw = Obs.max_gauge "tcache.slots_high_water"
+let c_frags_hw = Obs.max_gauge "tcache.frags_high_water"
+
+let h_frag_slots =
+  Obs.histogram "tcache.frag_slots" ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512 |]
+
 let cat_index : Usage.category -> int = function
   | Temp -> 0
   | No_user -> 1
@@ -108,6 +122,7 @@ struct
     Vec.push t.entry_ix t.next_entry;
     t.next_entry <- -1;
     t.next_addr <- t.next_addr + C.bytes insn;
+    Obs.set_max c_slots_hw (slot + 1);
     slot
 
   let get t slot = Vec.get t.code slot
@@ -120,12 +135,19 @@ struct
   let patch t slot insn =
     assert (C.bytes insn = C.bytes (Vec.get t.code slot));
     Vec.set t.code slot insn;
-    Vec.push t.patch_log slot
+    Vec.push t.patch_log slot;
+    Obs.bump c_patches 1
 
   let patch_count t = Vec.length t.patch_log
   let patched_slot t i = Vec.get t.patch_log i
 
-  let lookup t v_addr = Hashtbl.find_opt t.by_ventry v_addr
+  let lookup t v_addr =
+    let r = Hashtbl.find_opt t.by_ventry v_addr in
+    (match r with
+    | Some _ -> Obs.bump c_lookup_hits 1
+    | None -> Obs.bump c_lookup_misses 1);
+    r
+
   let is_translated t v_addr = Hashtbl.mem t.by_ventry v_addr
 
   (* O(1), allocation-free entry probe: fragment id of [slot] when it is a
@@ -172,6 +194,8 @@ struct
       }
     in
     Vec.push t.frags f;
+    Obs.bump c_installs 1;
+    Obs.set_max c_frags_hw (f.id + 1);
     Hashtbl.replace t.by_ventry v_start entry_slot;
     t.next_entry <- f.id;
     (match Hashtbl.find_opt t.pending v_start with
@@ -188,12 +212,14 @@ struct
     for s = f.entry_slot to Vec.length t.code - 1 do
       b := !b + C.bytes (Vec.get t.code s)
     done;
-    f.i_bytes <- !b
+    f.i_bytes <- !b;
+    Obs.observe h_frag_slots f.n_slots
 
   (* Flush: drop all fragments, code, patches and PEI tables (paper
      Section 4.1's Dynamo-style cache flush). The byte-address space
      restarts at [base]. *)
   let clear t =
+    Obs.bump c_flushes 1;
     Vec.clear t.code;
     Vec.clear t.addr;
     Vec.clear t.strand_start;

@@ -184,9 +184,20 @@ let flush ctx mem =
 
 exception Translate_bug of string
 
+(* Telemetry: per-backend translation counters; the sizing histogram is
+   fed with the superblock's V-ISA instruction count before expansion. *)
+let c_superblocks = Obs.counter "translate.acc.superblocks"
+let c_emitted = Obs.counter "translate.acc.emitted_slots"
+
+let h_sb_insns =
+  Obs.histogram "translate.superblock_v_insns"
+    ~bounds:[| 2; 4; 8; 16; 32; 64; 128; 200 |]
+
 let translate ctx mem (sb : Superblock.t) =
   if Array.length sb.entries = 0 then ()
   else begin
+    Obs.bump c_superblocks 1;
+    Obs.observe h_sb_insns (Array.length sb.entries);
     let nodes = Node.decompose ~fuse_mem:ctx.cfg.fuse_mem sb in
     let usage = Usage.analyze nodes in
     let n = Array.length nodes in
@@ -795,5 +806,6 @@ let translate ctx mem (sb : Superblock.t) =
       nodes;
     if not !block_done then emit_uncond_exit ~v_target:v_continue ();
     Tcache.Acc.seal ctx.tc frag;
+    Obs.bump c_emitted frag.n_slots;
     Cost.tick ctx.cost (frag.n_slots * Cost.install_per_insn)
   end

@@ -53,6 +53,13 @@ type t = {
   mutable last_seg : seg option; (* most recent segment end, for observers *)
 }
 
+(* Telemetry spans, one per VM phase. Segment-boundary frequency at most
+   (never per instruction), and pure load-and-branch while disabled. *)
+let sp_translate = Obs.span "translate"
+let sp_execute = Obs.span "execute"
+let sp_reentry = Obs.span "interp_reentry"
+let sp_flush = Obs.span "flush"
+
 let create ?(cfg = Config.default) ~kind prog =
   let interp = Alpha.Interp.create prog in
   let backend =
@@ -88,9 +95,10 @@ let entry_of t pc =
 
 let translate t sb =
   t.superblocks <- t.superblocks + 1;
-  match t.backend with
-  | B_acc (ctx, _) -> Translate.translate ctx t.interp.mem sb
-  | B_straight (ctx, _) -> Straighten.translate ctx t.interp.mem sb
+  Obs.with_span sp_translate (fun () ->
+      match t.backend with
+      | B_acc (ctx, _) -> Translate.translate ctx t.interp.mem sb
+      | B_straight (ctx, _) -> Straighten.translate ctx t.interp.mem sb)
 
 type outcome = Exit of int | Fault of Alpha.Interp.trap | Out_of_fuel
 
@@ -101,15 +109,16 @@ type outcome = Exit of int | Fault of Alpha.Interp.trap | Out_of_fuel
    with the cache. Safe only between VM steps (the run loop re-enters
    translated code through fresh lookups). *)
 let flush t =
-  (match t.backend with
-  | B_acc (ctx, ex) ->
-    Translate.flush ctx t.interp.mem;
-    Machine.Dual_ras.clear ex.Exec_acc.dras
-  | B_straight (ctx, ex) ->
-    Straighten.flush ctx t.interp.mem;
-    Machine.Dual_ras.clear ex.Exec_straight.dras);
-  Hashtbl.reset t.counters;
-  t.segs.flushes <- t.segs.flushes + 1
+  Obs.with_span sp_flush (fun () ->
+      (match t.backend with
+      | B_acc (ctx, ex) ->
+        Translate.flush ctx t.interp.mem;
+        Machine.Dual_ras.clear ex.Exec_acc.dras
+      | B_straight (ctx, ex) ->
+        Straighten.flush ctx t.interp.mem;
+        Machine.Dual_ras.clear ex.Exec_straight.dras);
+      Hashtbl.reset t.counters;
+      t.segs.flushes <- t.segs.flushes + 1)
 
 let dual_ras t =
   match t.backend with
@@ -167,25 +176,32 @@ let run ?sink ?boundary ?(fuel = max_int) t : outcome =
      a candidate-making edge. *)
   let candidate = ref true (* the program entry is a jump target *) in
   let result = ref None in
+  (* Hoisted out of [exec_translated] so the segment-rate dispatch below
+     allocates no closure while telemetry is off (the span thunk is only
+     built when the switch is on). *)
+  let exec_backend entry =
+    match t.backend with
+    | B_acc (_, ex) ->
+      let before = ex.stats.alpha_retired in
+      let r = Exec_acc.run ?sink ~fuel:t.fuel ex ~entry in
+      t.fuel <- t.fuel - (ex.stats.alpha_retired - before);
+      (match r with
+      | Exec_acc.X_reason reason -> `Reason reason
+      | Exec_acc.X_trap_recovered -> `Trap_recovered
+      | Exec_acc.X_fuel -> `Fuel)
+    | B_straight (_, ex) ->
+      let before = ex.stats.alpha_retired in
+      let r = Exec_straight.run ?sink ~fuel:t.fuel ex ~entry in
+      t.fuel <- t.fuel - (ex.stats.alpha_retired - before);
+      (match r with
+      | Exec_straight.X_reason reason -> `Reason reason
+      | Exec_straight.X_trap_recovered -> `Trap_recovered
+      | Exec_straight.X_fuel -> `Fuel)
+  in
   let exec_translated entry =
     let exit_ =
-      match t.backend with
-      | B_acc (_, ex) ->
-        let before = ex.stats.alpha_retired in
-        let r = Exec_acc.run ?sink ~fuel:t.fuel ex ~entry in
-        t.fuel <- t.fuel - (ex.stats.alpha_retired - before);
-        (match r with
-        | Exec_acc.X_reason reason -> `Reason reason
-        | Exec_acc.X_trap_recovered -> `Trap_recovered
-        | Exec_acc.X_fuel -> `Fuel)
-      | B_straight (_, ex) ->
-        let before = ex.stats.alpha_retired in
-        let r = Exec_straight.run ?sink ~fuel:t.fuel ex ~entry in
-        t.fuel <- t.fuel - (ex.stats.alpha_retired - before);
-        (match r with
-        | Exec_straight.X_reason reason -> `Reason reason
-        | Exec_straight.X_trap_recovered -> `Trap_recovered
-        | Exec_straight.X_fuel -> `Fuel)
+      if Obs.on () then Obs.with_span sp_execute (fun () -> exec_backend entry)
+      else exec_backend entry
     in
     let seg =
       match exit_ with
@@ -227,8 +243,9 @@ let run ?sink ?boundary ?(fuel = max_int) t : outcome =
   in
   (* Reentry paths (post-PAL, post-trap-recovery) interpret exactly one
      instruction; the next PC is sequential, never a candidate edge. *)
+  let reentry_step () = interp_step_accounted t in
   let interp_reentry () =
-    match interp_step_accounted t with
+    match Obs.with_span sp_reentry reentry_step with
     | Halted c -> result := Some (Exit c)
     | Trapped tr -> result := Some (Fault tr)
     | Step _ -> candidate := false
@@ -310,3 +327,85 @@ let acc_ctx t =
 
 let straight_ctx t =
   match t.backend with B_straight (ctx, _) -> Some ctx | B_acc _ -> None
+
+(* ---------- telemetry publication ---------- *)
+
+(* The hot paths keep their hand-rolled statistics structs — they are
+   what the lockstep oracle's exact-accounting invariants check — and a
+   finished run folds them into the registry here, so the telemetry
+   export is a view over oracle-validated numbers rather than a second,
+   independently drifting set of increments. Call once per completed
+   [run]; callers that run a VM several times (repeats) publish each. *)
+
+let c_runs = Obs.counter "vm.runs"
+let c_interp_insns = Obs.counter "vm.interp_insns"
+let c_superblocks = Obs.counter "vm.superblocks"
+let c_seg_branch = Obs.counter "vm.seg.branch_exits"
+let c_seg_pal = Obs.counter "vm.seg.pal_exits"
+let c_seg_dmiss = Obs.counter "vm.seg.dispatch_misses"
+let c_seg_trap = Obs.counter "vm.seg.trap_recoveries"
+let c_seg_fuel = Obs.counter "vm.seg.fuel_stops"
+let c_flushes = Obs.counter "vm.flushes"
+let c_cost_xunits = Obs.counter "cost.translate_units"
+let c_cost_iunits = Obs.counter "cost.interp_units"
+let c_cost_xinsns = Obs.counter "cost.translated_insns"
+let c_cost_iinsns = Obs.counter "cost.interp_insns"
+let c_i_exec = Obs.counter "engine.i_exec"
+let c_alpha = Obs.counter "engine.alpha_retired"
+let c_frag_enters = Obs.counter "engine.frag_enters"
+let c_dras_hits = Obs.counter "engine.ret_dras_hits"
+let c_dras_misses = Obs.counter "engine.ret_dras_misses"
+
+let c_class =
+  [|
+    Obs.counter "engine.class.core";
+    Obs.counter "engine.class.copy";
+    Obs.counter "engine.class.chain";
+    Obs.counter "engine.class.prologue";
+  |]
+
+let c_spills = Obs.counter "translate.acc.spills"
+let c_splits = Obs.counter "translate.acc.splits"
+let c_i_bytes = Obs.counter "tcache.i_bytes"
+
+let publish_obs t =
+  if Obs.on () then begin
+    Obs.bump c_runs 1;
+    Obs.bump c_interp_insns t.interp_insns;
+    Obs.bump c_superblocks t.superblocks;
+    Obs.bump c_seg_branch t.segs.branch_exits;
+    Obs.bump c_seg_pal t.segs.pal_exits;
+    Obs.bump c_seg_dmiss t.segs.dispatch_misses;
+    Obs.bump c_seg_trap t.segs.trap_recoveries;
+    Obs.bump c_seg_fuel t.segs.fuel_stops;
+    Obs.bump c_flushes t.segs.flushes;
+    let cost = cost t in
+    Obs.bump c_cost_xunits cost.Cost.translate_units;
+    Obs.bump c_cost_iunits cost.Cost.interp_units;
+    Obs.bump c_cost_xinsns cost.Cost.translated_insns;
+    Obs.bump c_cost_iinsns cost.Cost.interp_insns;
+    let i_exec, by_class, alpha, enters, dh, dm =
+      match t.backend with
+      | B_acc (_, ex) ->
+        let s = ex.Exec_acc.stats in
+        ( s.i_exec, s.by_class, s.alpha_retired, s.frag_enters,
+          s.ret_dras_hits, s.ret_dras_misses )
+      | B_straight (_, ex) ->
+        let s = ex.Exec_straight.stats in
+        ( s.i_exec, s.by_class, s.alpha_retired, s.frag_enters,
+          s.ret_dras_hits, s.ret_dras_misses )
+    in
+    Obs.bump c_i_exec i_exec;
+    Obs.bump c_alpha alpha;
+    Obs.bump c_frag_enters enters;
+    Obs.bump c_dras_hits dh;
+    Obs.bump c_dras_misses dm;
+    Array.iteri (fun i c -> Obs.bump c_class.(i) c) by_class;
+    match t.backend with
+    | B_acc (ctx, _) ->
+      Obs.bump c_spills ctx.Translate.n_spills;
+      Obs.bump c_splits ctx.Translate.n_splits;
+      Obs.bump c_i_bytes (Tcache.Acc.total_i_bytes ctx.Translate.tc)
+    | B_straight (ctx, _) ->
+      Obs.bump c_i_bytes (Tcache.Straight.total_i_bytes ctx.Straighten.tc)
+  end

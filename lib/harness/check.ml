@@ -1,0 +1,140 @@
+(* CI regression checker behind [bench/main.exe --check FILE].
+
+   Dispatches on the baseline's "schema" field:
+
+   - "ildp-dbt-exec-bench/*": re-runs the functional-throughput sweep and
+     gates on it — every baseline workload must still exist, still verify
+     (matched vs threaded engines byte-identical), and the geomean
+     threaded/matched speedup must not regress below [1 - tol] of the
+     baseline's. Speedups are ratios of two timings taken on the same
+     machine in the same process, so they transfer across hosts in a way
+     absolute MIPS never could; per-workload speedups still jitter with
+     scheduling, which is why only the geomean is gated and individual
+     deviations are reported as notes.
+   - "ildp-dbt-bench/*": structural check only — the experiment id set
+     recorded in the baseline must equal the harness's current registry
+     (catches silently dropped experiments). Wall-clock totals are
+     machine-dependent and never gated.
+
+   Both versions of each schema parse: /1 files predate the export
+   envelope, /2 files carry it. *)
+
+type outcome = {
+  ok : bool;
+  lines : string list; (* human-readable report, one finding per line *)
+}
+
+let failf ok lines fmt =
+  Printf.ksprintf
+    (fun s ->
+      ok := false;
+      lines := ("FAIL " ^ s) :: !lines)
+    fmt
+
+let notef lines fmt = Printf.ksprintf (fun s -> lines := ("note " ^ s) :: !lines) fmt
+let okf lines fmt = Printf.ksprintf (fun s -> lines := ("ok   " ^ s) :: !lines) fmt
+
+(* ---- exec-bench ---- *)
+
+type base_row = { b_name : string; b_speedup : float; b_verified : bool }
+
+let parse_exec_baseline doc =
+  let module J = Obs.Json in
+  let ( let* ) = Option.bind in
+  let* wl = J.member "workloads" doc in
+  let* wl = J.to_list wl in
+  let* rows =
+    List.fold_left
+      (fun acc w ->
+        let* acc = acc in
+        let* b_name = Option.bind (J.member "name" w) J.to_str in
+        let* b_speedup = Option.bind (J.member "speedup" w) J.to_float in
+        let* b_verified = Option.bind (J.member "verified" w) J.to_bool in
+        Some ({ b_name; b_speedup; b_verified } :: acc))
+      (Some []) wl
+  in
+  let* gm = Option.bind (J.member "geomean_speedup" doc) J.to_float in
+  Some (List.rev rows, gm)
+
+let check_exec ~tol doc (rows : Throughput.row list) =
+  let ok = ref true and lines = ref [] in
+  (match parse_exec_baseline doc with
+  | None -> failf ok lines "baseline: malformed exec-bench document"
+  | Some (base, base_gm) ->
+    List.iter
+      (fun b ->
+        match List.find_opt (fun (r : Throughput.row) -> r.name = b.b_name) rows with
+        | None -> failf ok lines "%s: in baseline but not in current sweep" b.b_name
+        | Some r ->
+          if r.mismatches <> [] then
+            failf ok lines "%s: engines disagree: %s" b.b_name
+              (String.concat "; " r.mismatches)
+          else begin
+            let s = Throughput.speedup r in
+            if b.b_speedup > 0.0 && Float.abs (s /. b.b_speedup -. 1.0) > tol then
+              notef lines "%s: speedup %.2fx vs baseline %.2fx (>±%.0f%%)"
+                b.b_name s b.b_speedup (100.0 *. tol)
+          end;
+          if not b.b_verified then
+            failf ok lines "%s: baseline itself is marked unverified" b.b_name)
+      base;
+    List.iter
+      (fun (r : Throughput.row) ->
+        if not (List.exists (fun b -> b.b_name = r.name) base) then
+          notef lines "%s: new workload, absent from baseline" r.name)
+      rows;
+    let gm = Runner.geomean (List.map Throughput.speedup rows) in
+    if base_gm > 0.0 && gm < base_gm *. (1.0 -. tol) then
+      failf ok lines "geomean speedup regressed: %.3fx < %.3fx - %.0f%%" gm
+        base_gm (100.0 *. tol)
+    else if base_gm > 0.0 && gm > base_gm *. (1.0 +. tol) then
+      notef lines
+        "geomean speedup %.3fx exceeds baseline %.3fx + %.0f%%; consider \
+         refreshing the baseline"
+        gm base_gm (100.0 *. tol)
+    else okf lines "geomean speedup %.3fx within ±%.0f%% of baseline %.3fx" gm
+        (100.0 *. tol) base_gm);
+  { ok = !ok; lines = List.rev !lines }
+
+(* ---- harness bench ---- *)
+
+let check_harness doc ~ids =
+  let module J = Obs.Json in
+  let ok = ref true and lines = ref [] in
+  (match Option.bind (J.member "experiments" doc) J.to_list with
+  | None -> failf ok lines "baseline: malformed harness document (no experiments)"
+  | Some exps ->
+    let base_ids =
+      List.filter_map (fun e -> Option.bind (J.member "id" e) J.to_str) exps
+    in
+    List.iter
+      (fun id ->
+        if not (List.mem id ids) then
+          failf ok lines "experiment %S in baseline but no longer registered" id)
+      base_ids;
+    List.iter
+      (fun id ->
+        if not (List.mem id base_ids) then
+          notef lines "experiment %S registered but absent from baseline" id)
+      ids;
+    if !ok then
+      okf lines "all %d baseline experiments still registered"
+        (List.length base_ids));
+  { ok = !ok; lines = List.rev !lines }
+
+(* ---- dispatch ---- *)
+
+let prefixed p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Runs the appropriate check for [path]. [sweep] produces the current
+   throughput rows on demand (only the exec-bench branch pays for it);
+   [ids] is the current experiment registry. *)
+let run ~tol ~ids ~sweep path =
+  match Obs.Json.parse_file path with
+  | Error e -> { ok = false; lines = [ Printf.sprintf "FAIL %s: %s" path e ] }
+  | Ok doc -> (
+    match Obs.Envelope.schema_of doc with
+    | Some s when prefixed "ildp-dbt-exec-bench/" s -> check_exec ~tol doc (sweep ())
+    | Some s when prefixed "ildp-dbt-bench/" s -> check_harness doc ~ids
+    | Some s -> { ok = false; lines = [ Printf.sprintf "FAIL unknown schema %S" s ] }
+    | None -> { ok = false; lines = [ "FAIL baseline has no \"schema\" field" ] })

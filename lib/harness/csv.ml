@@ -117,6 +117,34 @@ let fig9 dir ~scale =
   in
   write_file dir "fig9.csv" ("benchmark" :: List.map (fun (n, _, _, _, _) -> n) cfgs) rows
 
+(* Flat summary of a telemetry snapshot, written next to the JSON export
+   ([--telemetry-json FILE] also writes [FILE]'s [.csv] sibling). One row
+   per counter and span, one per histogram bucket; the [seconds] column is
+   populated only for spans. *)
+let telemetry path (snap : Obs.snapshot) =
+  let oc = open_out path in
+  output_string oc "kind,name,value,seconds\n";
+  List.iter
+    (fun (n, v) -> Printf.fprintf oc "counter,%s,%d,\n" n v)
+    snap.Obs.counters;
+  List.iter
+    (fun (n, bounds, counts) ->
+      Array.iteri
+        (fun i c ->
+          let b =
+            if i < Array.length bounds then Printf.sprintf "le%d" bounds.(i)
+            else "overflow"
+          in
+          Printf.fprintf oc "histogram,%s[%s],%d,\n" n b c)
+        counts)
+    snap.Obs.histograms;
+  List.iter
+    (fun (n, count, secs) ->
+      Printf.fprintf oc "span,%s,%d,%.6f\n" n count secs)
+    snap.Obs.spans;
+  close_out oc;
+  path
+
 (* Write every exportable series; returns the file list. *)
 let export dir ~scale =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());

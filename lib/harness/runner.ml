@@ -26,6 +26,19 @@ type timing = {
 
 let fuel = 100_000_000
 
+(* Telemetry: one span per runner kind (whole-simulation wall clock, as
+   seen by the worker domain that ran it) and a count of raw — i.e.
+   memo-missed — runs. Each raw run also folds its VM/timing-model stat
+   structs into the registry, so registry totals are per unique
+   simulation: the Memo tables are single-flight, which is what makes
+   collected counts identical at any [--jobs] setting. *)
+let sp_orig = Obs.span "run.original"
+let sp_straight = Obs.span "run.straight"
+let sp_acc = Obs.span "run.acc"
+let c_orig = Obs.counter "runner.runs.original"
+let c_straight = Obs.counter "runner.runs.straight"
+let c_acc = Obs.counter "runner.runs.acc"
+
 let timing_of_ooo (m : Uarch.Ooo.t) =
   {
     cycles = Uarch.Ooo.cycles m;
@@ -53,6 +66,8 @@ let timing_of_ildp (m : Uarch.Ildp.t) =
 (* ---------- original (native Alpha on the superscalar model) ---------- *)
 
 let original_raw ~use_ras w ~scale =
+  Obs.with_span sp_orig @@ fun () ->
+  Obs.bump c_orig 1;
   let prog = Workloads.program ~scale w in
   let st = Alpha.Interp.create prog in
   let m = Uarch.Ooo.create ~use_ras () in
@@ -61,6 +76,7 @@ let original_raw ~use_ras w ~scale =
   | Fault tr ->
     failwith (Format.asprintf "%s (original): %a" w.name Alpha.Interp.pp_trap tr)
   | Out_of_fuel -> failwith (w.name ^ ": out of fuel"));
+  Uarch.Ooo.publish_obs m;
   timing_of_ooo m
 
 (* ---------- code-straightening-only DBT on the superscalar model ------- *)
@@ -75,6 +91,8 @@ type straight_out = {
 }
 
 let straight_raw ~chaining w ~scale =
+  Obs.with_span sp_straight @@ fun () ->
+  Obs.bump c_straight 1;
   let prog = Workloads.program ~scale w in
   let cfg = { Core.Config.default with chaining } in
   let vm = Core.Vm.create ~cfg ~kind:Core.Vm.Straight_only prog in
@@ -88,6 +106,8 @@ let straight_raw ~chaining w ~scale =
   | Fault tr ->
     failwith (Format.asprintf "%s (straight): %a" w.name Alpha.Interp.pp_trap tr)
   | Out_of_fuel -> failwith (w.name ^ ": out of fuel"));
+  Core.Vm.publish_obs vm;
+  Uarch.Ooo.publish_obs m;
   let ex = Option.get (Core.Vm.straight_exec vm) in
   let ctx = Option.get (Core.Vm.straight_ctx vm) in
   {
@@ -121,6 +141,8 @@ type acc_out = {
 let acc_raw ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
     ?(n_accs = 4) ?(fuse_mem = false) ?(stop_at_translated = false)
     ?(max_superblock = 200) ?(hot_threshold = 50) ?ildp w ~scale =
+  Obs.with_span sp_acc @@ fun () ->
+  Obs.bump c_acc 1;
   let prog = Workloads.program ~scale w in
   let cfg =
     {
@@ -143,6 +165,8 @@ let acc_raw ?(isa = Core.Config.Modified) ?(chaining = Core.Config.Sw_pred_ras)
   | Fault tr ->
     failwith (Format.asprintf "%s (acc): %a" w.name Alpha.Interp.pp_trap tr)
   | Out_of_fuel -> failwith (w.name ^ ": out of fuel"));
+  Core.Vm.publish_obs vm;
+  Option.iter Uarch.Ildp.publish_obs m;
   let ex = Option.get (Core.Vm.acc_exec vm) in
   let ctx = Option.get (Core.Vm.acc_ctx vm) in
   let frags = Core.Tcache.Acc.fragments ctx.tc in

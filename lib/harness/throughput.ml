@@ -45,6 +45,7 @@ let run_once ~engine ?(scale = 1) ?(fuel = default_fuel) (w : Workloads.t) =
     | Core.Vm.Fault tr -> Format.asprintf "trap:%a" Alpha.Interp.pp_trap tr
     | Core.Vm.Out_of_fuel -> "fuel"
   in
+  Core.Vm.publish_obs vm;
   let ex = Option.get (Core.Vm.acc_exec vm) in
   {
     outcome;
@@ -160,36 +161,44 @@ let render fmt rows =
   Format.fprintf fmt "%-12s %12s %12s %9.2fx@." "geomean" "" "" gm;
   gm
 
-let write_json path ~scale ~fuel ~repeats rows jobs_rows =
-  let oc = open_out path in
-  let p fmt = Printf.fprintf oc fmt in
-  p "{\n";
-  p "  \"schema\": \"ildp-dbt-exec-bench/1\",\n";
-  p "  \"scale\": %d,\n" scale;
-  p "  \"fuel\": %d,\n" fuel;
-  p "  \"repeats\": %d,\n" repeats;
-  p "  \"workloads\": [\n";
-  List.iteri
-    (fun i r ->
-      p
-        "    { \"name\": \"%s\", \"outcome\": \"%s\", \"v_insns\": %d,\n\
-        \      \"translated_alpha\": %d, \"interp_insns\": %d,\n\
-        \      \"match_secs\": %.4f, \"match_mips\": %.2f,\n\
-        \      \"threaded_secs\": %.4f, \"threaded_mips\": %.2f,\n\
-        \      \"speedup\": %.3f, \"verified\": %b }%s\n"
-        r.name r.threaded.outcome (retired r.threaded) r.threaded.alpha
-        r.threaded.interp_insns r.matched.secs (mips r.matched)
-        r.threaded.secs (mips r.threaded) (speedup r) (r.mismatches = [])
-        (if i < List.length rows - 1 then "," else ""))
-    rows;
-  p "  ],\n";
-  p "  \"geomean_speedup\": %.3f,\n" (Runner.geomean (List.map speedup rows));
-  p "  \"jobs\": [\n";
-  List.iteri
-    (fun i (j : jobs_row) ->
-      p "    { \"jobs\": %d, \"wall_secs\": %.3f, \"agg_mips\": %.2f }%s\n"
-        j.jobs j.wall_secs j.agg_mips
-        (if i < List.length jobs_rows - 1 then "," else ""))
-    jobs_rows;
-  p "  ]\n}\n";
-  close_out oc
+(* Baseline schema, version 2: same per-workload fields as /1 but carried
+   inside the shared {!Obs.Envelope}, and the pool-scaling series renamed
+   from "jobs" (which the envelope now claims) to "jobs_sweep". The
+   [--check] reader accepts both versions. *)
+let schema = "ildp-dbt-exec-bench/2"
+
+let json_of_row r =
+  let module J = Obs.Json in
+  J.Obj
+    [ ("name", J.String r.name);
+      ("outcome", J.String r.threaded.outcome);
+      ("v_insns", J.Int (retired r.threaded));
+      ("translated_alpha", J.Int r.threaded.alpha);
+      ("interp_insns", J.Int r.threaded.interp_insns);
+      ("match_secs", J.Float r.matched.secs);
+      ("match_mips", J.Float (mips r.matched));
+      ("threaded_secs", J.Float r.threaded.secs);
+      ("threaded_mips", J.Float (mips r.threaded));
+      ("speedup", J.Float (speedup r));
+      ("verified", J.Bool (r.mismatches = [])) ]
+
+let to_json ~jobs ~scale ~fuel ~repeats rows jobs_rows =
+  let module J = Obs.Json in
+  Obs.Envelope.wrap ~schema ~jobs
+    [ ("scale", J.Int scale);
+      ("fuel", J.Int fuel);
+      ("repeats", J.Int repeats);
+      ("workloads", J.List (List.map json_of_row rows));
+      ("geomean_speedup", J.Float (Runner.geomean (List.map speedup rows)));
+      ("jobs_sweep",
+       J.List
+         (List.map
+            (fun (j : jobs_row) ->
+              J.Obj
+                [ ("jobs", J.Int j.jobs);
+                  ("wall_secs", J.Float j.wall_secs);
+                  ("agg_mips", J.Float j.agg_mips) ])
+            jobs_rows)) ]
+
+let write_json path ~jobs ~scale ~fuel ~repeats rows jobs_rows =
+  Obs.Json.write_file path (to_json ~jobs ~scale ~fuel ~repeats rows jobs_rows)

@@ -1,0 +1,271 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- parsing ---------- *)
+
+exception Err of int * string
+
+let err pos msg = raise (Err (pos, msg))
+
+type st = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    &&
+    match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> err st.pos (Printf.sprintf "expected %C" c)
+
+let lit st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else err st.pos ("expected " ^ word)
+
+let parse_string_lit st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then err st.pos "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+      if st.pos >= String.length st.s then err st.pos "unterminated escape";
+      let e = st.s.[st.pos] in
+      st.pos <- st.pos + 1;
+      (match e with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' ->
+        if st.pos + 4 > String.length st.s then err st.pos "short \\u escape";
+        let hex = String.sub st.s st.pos 4 in
+        st.pos <- st.pos + 4;
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> err (st.pos - 4) "bad \\u escape"
+        in
+        (* UTF-8 encode the BMP code point (no surrogate pairing: the
+           writers below only ever emit ASCII escapes) *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | _ -> err (st.pos - 1) "bad escape");
+      go ())
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < String.length st.s && is_num_char st.s.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.s start (st.pos - start) in
+  let is_float =
+    String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok
+  in
+  if is_float then
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> err start "bad number"
+  else
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      (* integer too wide for OCaml's int: degrade to float *)
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> err start "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> err st.pos "unexpected end of input"
+  | Some '{' ->
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      expect st '}';
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws st;
+        let k = parse_string_lit st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (k, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> expect st ','; go ()
+        | _ -> expect st '}'
+      in
+      go ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      expect st ']';
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> expect st ','; go ()
+        | _ -> expect st ']'
+      in
+      go ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string_lit st)
+  | Some 't' -> lit st "true" (Bool true)
+  | Some 'f' -> lit st "false" (Bool false)
+  | Some 'n' -> lit st "null" Null
+  | Some _ -> parse_number st
+
+let parse_string s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at byte %d" st.pos)
+    else Ok v
+  | exception Err (pos, msg) ->
+    Error (Printf.sprintf "parse error at byte %d: %s" pos msg)
+
+let parse_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    parse_string s
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec emit buf indent v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        pad (indent + 2);
+        emit buf (indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    pad indent;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        pad (indent + 2);
+        escape buf k;
+        Buffer.add_string buf ": ";
+        emit buf (indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    pad indent;
+    Buffer.add_char buf '}'
+
+let to_buffer buf v =
+  emit buf 0 v;
+  Buffer.add_char buf '\n'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let write_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc
+
+(* ---------- accessors ---------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

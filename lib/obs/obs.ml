@@ -1,0 +1,6 @@
+(* Library root: the registry API at [Obs.*] plus the serialization
+   companions at [Obs.Json] / [Obs.Envelope]. *)
+
+include Telemetry
+module Json = Json
+module Envelope = Envelope

@@ -1,0 +1,268 @@
+(* See obs.mli for the design constraints. The implementation keeps three
+   kinds of metric in one registry:
+
+   - the name tables (counter/histogram/span names, counter merge kinds,
+     histogram bounds) are global, append-only, and mutex-protected; they
+     are only written at module-initialisation time of the instrumented
+     libraries, before any worker domain exists;
+   - the observations live in per-domain slabs (plain arrays) reached
+     through Domain.DLS, so the hot path after the enabled check is an
+     array store with no synchronisation;
+   - [collect]/[reset] take the lock, walk every slab ever created
+     (slabs of finished domains are kept — their counts must survive the
+     Pool's worker shutdown), and merge. *)
+
+let enabled = ref false
+let on () = !enabled
+let set_enabled b = enabled := b
+
+type counter = int
+type histogram = int
+type span = int
+
+type kind = Sum | Max
+
+let mu = Mutex.create ()
+
+(* name tables (all guarded by [mu]) *)
+let c_names : (string, int) Hashtbl.t = Hashtbl.create 64
+let c_list : (string * kind) array ref = ref [||] (* index = handle *)
+let h_names : (string, int) Hashtbl.t = Hashtbl.create 16
+let h_list : (string * int array) array ref = ref [||]
+let s_names : (string, int) Hashtbl.t = Hashtbl.create 16
+let s_list : string array ref = ref [||]
+
+type slab = {
+  mutable c : int array;
+  mutable h : int array array;
+  mutable sp_n : int array;
+  mutable sp_s : float array;
+}
+
+let slabs : slab list ref = ref []
+
+let fresh_slab () =
+  let s = { c = [||]; h = [||]; sp_n = [||]; sp_s = [||] } in
+  Mutex.lock mu;
+  slabs := s :: !slabs;
+  Mutex.unlock mu;
+  s
+
+let slab_key = Domain.DLS.new_key fresh_slab
+let my_slab () = Domain.DLS.get slab_key
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let append arr x =
+  let n = Array.length !arr in
+  let grown = Array.make (n + 1) x in
+  Array.blit !arr 0 grown 0 n;
+  arr := grown;
+  n
+
+let register_counter kind name =
+  locked (fun () ->
+      match Hashtbl.find_opt c_names name with
+      | Some id -> id
+      | None ->
+        let id = append c_list (name, kind) in
+        Hashtbl.replace c_names name id;
+        id)
+
+let counter name = register_counter Sum name
+let max_gauge name = register_counter Max name
+
+let histogram name ~bounds =
+  let ok =
+    let r = ref true in
+    Array.iteri (fun i b -> if i > 0 && b <= bounds.(i - 1) then r := false)
+      bounds;
+    !r
+  in
+  if not ok then invalid_arg "Obs.histogram: bounds must be increasing";
+  locked (fun () ->
+      match Hashtbl.find_opt h_names name with
+      | Some id -> id
+      | None ->
+        let id = append h_list (name, Array.copy bounds) in
+        Hashtbl.replace h_names name id;
+        id)
+
+let span name =
+  locked (fun () ->
+      match Hashtbl.find_opt s_names name with
+      | Some id -> id
+      | None ->
+        let id = append s_list name in
+        Hashtbl.replace s_names name id;
+        id)
+
+(* Slab growth is per-domain and unsynchronised: only the owning domain
+   writes its slab, and [collect] under the lock reads whichever array
+   version it sees (counts race benignly by at most the event in flight;
+   callers collect at quiescence). *)
+let grow_int a n =
+  let g = Array.make n 0 in
+  Array.blit a 0 g 0 (Array.length a);
+  g
+
+let ensure_c s id =
+  if id >= Array.length s.c then
+    s.c <- grow_int s.c (max 64 (2 * (id + 1)))
+
+let bump id n =
+  if !enabled then begin
+    let s = my_slab () in
+    ensure_c s id;
+    s.c.(id) <- s.c.(id) + n
+  end
+
+let set_max id v =
+  if !enabled then begin
+    let s = my_slab () in
+    ensure_c s id;
+    if v > s.c.(id) then s.c.(id) <- v
+  end
+
+let observe id v =
+  if !enabled then begin
+    let s = my_slab () in
+    if id >= Array.length s.h then begin
+      let n = max 16 (2 * (id + 1)) in
+      let g = Array.make n [||] in
+      Array.blit s.h 0 g 0 (Array.length s.h);
+      s.h <- g
+    end;
+    (* the name tables are append-only and fully populated at module-init
+       time, so this unlocked read sees a complete entry *)
+    let bounds = snd !h_list.(id) in
+    if Array.length s.h.(id) = 0 then
+      s.h.(id) <- Array.make (Array.length bounds + 1) 0;
+    let b = ref 0 in
+    while !b < Array.length bounds && bounds.(!b) < v do
+      incr b
+    done;
+    s.h.(id).(!b) <- s.h.(id).(!b) + 1
+  end
+
+let with_span id f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        let s = my_slab () in
+        if id >= Array.length s.sp_n then begin
+          let n = max 16 (2 * (id + 1)) in
+          s.sp_n <- grow_int s.sp_n n;
+          let g = Array.make n 0.0 in
+          Array.blit s.sp_s 0 g 0 (Array.length s.sp_s);
+          s.sp_s <- g
+        end;
+        s.sp_n.(id) <- s.sp_n.(id) + 1;
+        s.sp_s.(id) <- s.sp_s.(id) +. dt)
+      f
+  end
+
+(* ---------- collection ---------- *)
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * int array * int array) list;
+  spans : (string * int * float) list;
+}
+
+let collect () =
+  locked (fun () ->
+      let cl = !c_list and hl = !h_list and sl = !s_list in
+      let cs = Array.make (Array.length cl) 0 in
+      let hs =
+        Array.map (fun (_, b) -> Array.make (Array.length b + 1) 0) hl
+      in
+      let sn = Array.make (Array.length sl) 0 in
+      let ss = Array.make (Array.length sl) 0.0 in
+      List.iter
+        (fun slab ->
+          Array.iteri
+            (fun id (_, kind) ->
+              if id < Array.length slab.c then
+                match kind with
+                | Sum -> cs.(id) <- cs.(id) + slab.c.(id)
+                | Max -> cs.(id) <- max cs.(id) slab.c.(id))
+            cl;
+          Array.iteri
+            (fun id buckets ->
+              if id < Array.length slab.h && Array.length slab.h.(id) > 0
+              then
+                Array.iteri
+                  (fun b n -> buckets.(b) <- buckets.(b) + n)
+                  slab.h.(id))
+            hs;
+          Array.iteri
+            (fun id _ ->
+              if id < Array.length slab.sp_n then begin
+                sn.(id) <- sn.(id) + slab.sp_n.(id);
+                ss.(id) <- ss.(id) +. slab.sp_s.(id)
+              end)
+            sl)
+        !slabs;
+      let sort_by_name l = List.sort compare l in
+      {
+        counters =
+          sort_by_name
+            (Array.to_list (Array.mapi (fun i (n, _) -> (n, cs.(i))) cl));
+        histograms =
+          sort_by_name
+            (Array.to_list
+               (Array.mapi (fun i (n, b) -> (n, Array.copy b, hs.(i))) hl));
+        spans =
+          sort_by_name
+            (Array.to_list (Array.mapi (fun i n -> (n, sn.(i), ss.(i))) sl));
+      })
+
+let reset () =
+  locked (fun () ->
+      List.iter
+        (fun s ->
+          Array.fill s.c 0 (Array.length s.c) 0;
+          Array.iter (fun b -> Array.fill b 0 (Array.length b) 0) s.h;
+          Array.fill s.sp_n 0 (Array.length s.sp_n) 0;
+          Array.fill s.sp_s 0 (Array.length s.sp_s) 0.0)
+        !slabs)
+
+let find snap name = List.assoc_opt name snap.counters
+
+let to_json snap =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) snap.counters));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, bounds, counts) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ( "bounds",
+                       Json.List
+                         (Array.to_list (Array.map (fun b -> Json.Int b) bounds))
+                     );
+                     ( "counts",
+                       Json.List
+                         (Array.to_list (Array.map (fun c -> Json.Int c) counts))
+                     );
+                   ] ))
+             snap.histograms) );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (n, count, secs) ->
+               ( n,
+                 Json.Obj
+                   [ ("count", Json.Int count); ("seconds", Json.Float secs) ]
+               ))
+             snap.spans) );
+    ]

@@ -1,0 +1,94 @@
+(** Unified telemetry: a process-wide registry of named monotonic
+    counters, fixed-bucket histograms and wall-clock span timers.
+
+    Design constraints, in order:
+
+    - {b compiled-out-cheap when disabled.} Every observation site first
+      reads one [bool ref]; when telemetry is off (the default) the only
+      cost at an instrumentation point is that load-and-branch, no
+      allocation, no time syscalls, and the simulation results are
+      byte-identical to an uninstrumented build;
+    - {b domain-local, merge-on-collect.} Each domain accumulates into
+      its own plain [int array] slab (registered once, on the domain's
+      first observation), so worker domains of the experiment harness
+      never contend; {!collect} merges every slab under one lock. Sums
+      merge by addition, high-water marks by [max];
+    - {b stable identity.} Metrics are registered by name, at module
+      initialisation time, and handles are plain [int] indices. The same
+      name always yields the same handle, so the exported name set is
+      independent of which code paths actually ran.
+
+    The VM's hand-rolled per-run statistics structs remain the source of
+    truth on the hot paths (they are what the lockstep oracle's exact
+    accounting validates); {!bump} folds them into the registry at
+    run-publish time, so the telemetry export inherits those invariants
+    rather than duplicating per-instruction work. *)
+
+val enabled : bool ref
+(** The master switch (also exposed as [Core.Config.telemetry]). Flip it
+    before the work you want observed; observation sites read it on
+    every event. *)
+
+val on : unit -> bool
+val set_enabled : bool -> unit
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Register (or look up) a monotonic sum counter. *)
+
+val max_gauge : string -> counter
+(** Register a high-water-mark metric: {!set_max} keeps the maximum
+    observed value, and slabs merge by [max] rather than [+]. *)
+
+val bump : counter -> int -> unit
+(** Add [n] to the current domain's slab. No-op while disabled. *)
+
+val set_max : counter -> int -> unit
+(** Raise the high-water mark to at least [v]. No-op while disabled. *)
+
+(** {2 Histograms} *)
+
+type histogram
+
+val histogram : string -> bounds:int array -> histogram
+(** Fixed buckets: a sample [v] lands in the first bucket whose bound is
+    [>= v], or in the overflow bucket past the last bound. [bounds] must
+    be strictly increasing. *)
+
+val observe : histogram -> int -> unit
+
+(** {2 Spans} *)
+
+type span
+
+val span : string -> span
+
+val with_span : span -> (unit -> 'a) -> 'a
+(** Time [f]'s wall clock into the span (count + total seconds).
+    Exception-safe; when disabled it is exactly [f ()]. *)
+
+(** {2 Collection} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name; merged over slabs *)
+  histograms : (string * int array * int array) list;
+      (** (name, bucket bounds, counts); counts has one overflow bucket *)
+  spans : (string * int * float) list;  (** (name, count, total seconds) *)
+}
+
+val collect : unit -> snapshot
+(** Merge every domain's slab. Safe to call while workers run, but the
+    caller sees a consistent snapshot only once they are quiescent. *)
+
+val reset : unit -> unit
+(** Zero every slab (metric registrations are kept). *)
+
+val find : snapshot -> string -> int option
+(** Counter value by name. *)
+
+val to_json : snapshot -> Json.t
+(** [{ "counters": {..}, "histograms": {..}, "spans": {..} }] — the body
+    of the telemetry export; {!Envelope} wraps it with run metadata. *)

@@ -240,7 +240,18 @@ let feed t (ev : Ev.t) =
   | `Misfetch -> t.next_fetch_min <- max t.next_fetch_min (f + t.p.redirect)
   | `Mispredict -> t.next_fetch_min <- max t.next_fetch_min (complete + t.p.redirect)
 
+(* Telemetry (cf. Ooo): drains live, totals folded in via [publish_obs]. *)
+let c_boundaries = Obs.counter "uarch.ildp.boundaries"
+let c_cycles = Obs.counter "uarch.ildp.cycles"
+let c_insns = Obs.counter "uarch.ildp.insns"
+let c_alpha = Obs.counter "uarch.ildp.alpha"
+let c_mispredicts = Obs.counter "uarch.ildp.mispredicts"
+let c_misfetches = Obs.counter "uarch.ildp.misfetches"
+let c_comm_stalls = Obs.counter "uarch.ildp.comm_stalls"
+let c_comm_cycles = Obs.counter "uarch.ildp.comm_cycles"
+
 let boundary t =
+  Obs.bump c_boundaries 1;
   t.next_fetch_min <- max t.next_fetch_min t.last_commit;
   t.prev_open_bb <- false
 
@@ -251,3 +262,16 @@ let ipc t = float_of_int t.n /. float_of_int (cycles t)
 
 (* V-ISA instructions per cycle — the paper's headline metric. *)
 let v_ipc t = float_of_int t.alpha /. float_of_int (cycles t)
+
+(* Fold this model's run totals into the telemetry registry (one call per
+   finished simulation; the harness runners own that call). *)
+let publish_obs t =
+  if Obs.on () then begin
+    Obs.bump c_cycles (cycles t);
+    Obs.bump c_insns t.n;
+    Obs.bump c_alpha t.alpha;
+    Obs.bump c_mispredicts t.pred.Pred.mispredicts;
+    Obs.bump c_misfetches t.pred.Pred.misfetches;
+    Obs.bump c_comm_stalls t.comm_stalls;
+    Obs.bump c_comm_cycles t.comm_cycles
+  end

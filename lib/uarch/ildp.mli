@@ -67,3 +67,8 @@ val ipc : t -> float
 
 val v_ipc : t -> float
 (** V-ISA instructions per cycle — the paper's headline metric. *)
+
+val publish_obs : t -> unit
+(** Fold the run's totals (cycles, committed instructions, predictor and
+    communication outcomes) into the {!Obs} registry; no-op while
+    telemetry is off. *)

@@ -147,8 +147,18 @@ let feed t (ev : Ev.t) =
   | `Misfetch -> t.next_fetch_min <- max t.next_fetch_min (f + t.p.redirect)
   | `Mispredict -> t.next_fetch_min <- max t.next_fetch_min (complete + t.p.redirect))
 
+(* Telemetry: drain events are counted live (they are segment-rate), the
+   cumulative totals are folded in once per run via [publish_obs]. *)
+let c_boundaries = Obs.counter "uarch.ooo.boundaries"
+let c_cycles = Obs.counter "uarch.ooo.cycles"
+let c_insns = Obs.counter "uarch.ooo.insns"
+let c_alpha = Obs.counter "uarch.ooo.alpha"
+let c_mispredicts = Obs.counter "uarch.ooo.mispredicts"
+let c_misfetches = Obs.counter "uarch.ooo.misfetches"
+
 (* Mode-switch boundary: the pipeline drains and restarts empty. *)
 let boundary t =
+  Obs.bump c_boundaries 1;
   t.next_fetch_min <- max t.next_fetch_min t.last_commit;
   t.prev_open_bb <- false
 
@@ -158,3 +168,14 @@ let ipc t = float_of_int t.n /. float_of_int (cycles t)
 
 (* V-ISA instructions per cycle — the paper's headline metric. *)
 let v_ipc t = float_of_int t.alpha /. float_of_int (cycles t)
+
+(* Fold this model's run totals into the telemetry registry (one call per
+   finished simulation; the harness runners own that call). *)
+let publish_obs t =
+  if Obs.on () then begin
+    Obs.bump c_cycles (cycles t);
+    Obs.bump c_insns t.n;
+    Obs.bump c_alpha t.alpha;
+    Obs.bump c_mispredicts t.pred.Pred.mispredicts;
+    Obs.bump c_misfetches t.pred.Pred.misfetches
+  end

@@ -59,3 +59,7 @@ val cycles : t -> int
 val ipc : t -> float
 val v_ipc : t -> float
 (** V-ISA instructions per cycle — the paper's headline metric. *)
+
+val publish_obs : t -> unit
+(** Fold the run's totals (cycles, committed instructions, predictor
+    outcomes) into the {!Obs} registry; no-op while telemetry is off. *)

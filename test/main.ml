@@ -17,4 +17,5 @@ let () =
       ("pool", Test_pool.suite);
       ("oracle", Test_oracle.suite);
       ("exec_closure", Test_exec_closure.suite);
+      ("obs", Test_obs.suite);
     ]
