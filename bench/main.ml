@@ -23,6 +23,8 @@ let repeats = ref 3
 let telemetry_json = ref None
 let check_file = ref None
 let check_tol = ref 0.10
+let save_cache = ref None
+let load_cache = ref None
 
 let args =
   [
@@ -40,6 +42,11 @@ let args =
      "FILE regression-check against a committed baseline; exit 1 on failure");
     ("--check-tol", Arg.Set_float check_tol,
      "T relative tolerance for --check speedup comparisons (default 0.10)");
+    ("--save-cache", Arg.String (fun f -> save_cache := Some f),
+     "FILE with -e persist: save the first workload's cold snapshot here");
+    ("--load-cache", Arg.String (fun f -> load_cache := Some f),
+     "FILE with -e persist: warm the first workload from this snapshot \
+      (cross-process roundtrip) instead of its in-process encoding");
     ("--bechamel", Arg.Set bechamel, " run Bechamel microbenchmarks");
     ("--csv", Arg.String (fun d -> csv_dir := Some d),
      "DIR export per-benchmark series as CSV files");
@@ -194,6 +201,43 @@ let run_throughput fmt ~scale ~repeats =
     exit 1
   end
 
+(* ---------- persistent-snapshot warm start (cold vs warm) ---------- *)
+
+(* Not a paper experiment: cold-vs-warm start of the VM from a persisted
+   translation-cache snapshot, with full cold/warm state verification and
+   the translation-phase reduction measured in deterministic cost-model
+   units. Exit status 1 on any divergence (@persist-smoke gates on it). *)
+let run_persist fmt ~scale =
+  let rows, first_bytes =
+    try Harness.Persist_bench.sweep ~scale ?load_cache:!load_cache ()
+    with Persist.Snapshot.Error msg ->
+      Printf.eprintf "snapshot error: %s\n" msg;
+      exit 1
+  in
+  ignore (Harness.Persist_bench.render fmt rows);
+  Format.pp_print_flush fmt ();
+  Option.iter
+    (fun path ->
+      let oc = open_out_bin path in
+      output_string oc first_bytes;
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    !save_cache;
+  Option.iter
+    (fun path ->
+      Harness.Persist_bench.write_json path ~jobs:1 ~scale
+        ~fuel:Harness.Persist_bench.default_fuel rows;
+      Printf.printf "wrote %s\n" path)
+    !bench_json;
+  if
+    List.exists
+      (fun (r : Harness.Persist_bench.row) -> r.mismatches <> [])
+      rows
+  then begin
+    prerr_endline "persist: warm start diverged from cold start";
+    exit 1
+  end
+
 (* Plan -> parallel cache warm -> serial render. The render functions only
    read memoised results, so console output is byte-identical at any job
    count; rows are formatted in the same order as a serial run. *)
@@ -248,7 +292,9 @@ let () =
       (fun (e : Harness.Experiments.exp) -> Printf.printf "%-8s %s\n" e.id e.desc)
       Harness.Experiments.all;
     Printf.printf "%-8s %s\n" "functional-throughput"
-      "VM execution-engine throughput (threaded vs. match), verified"
+      "VM execution-engine throughput (threaded vs. match), verified";
+    Printf.printf "%-8s %s\n" "persist"
+      "cold vs warm start from a translation-cache snapshot, verified"
   end
   else if !bechamel then run_bechamel ()
   else if !csv_dir <> None then begin
@@ -278,6 +324,7 @@ let () =
     (match !experiment with
     | Some "functional-throughput" ->
       run_throughput fmt ~scale:!scale ~repeats:!repeats
+    | Some "persist" -> run_persist fmt ~scale:!scale
     | Some id -> (
       match Harness.Experiments.find id with
       | Some e -> run_experiments fmt [ e ] ~scale:!scale

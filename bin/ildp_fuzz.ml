@@ -99,10 +99,10 @@ type report = {
 (* One seed under one mode; on divergence, minimize the block list with
    ddmin (the predicate re-runs the oracle on the rendered subset) and
    re-derive the report from the minimized program. *)
-let run_seed_mode ~granularity ~threaded ~flush_every seed mode
+let run_seed_mode ~granularity ~threaded ~flush_every ~warm_start seed mode
     (prog : Oracle.Gen.program) =
   let go blocks =
-    Oracle.Lockstep.run ~granularity ~threaded ~flush_every ~mode
+    Oracle.Lockstep.run ~granularity ~threaded ~flush_every ~warm_start ~mode
       (Oracle.Gen.assemble ~blocks prog)
   in
   match go prog.blocks with
@@ -131,7 +131,8 @@ let run_seed_mode ~granularity ~threaded ~flush_every seed mode
       }
 
 (* A shard of contiguous seeds processed on one worker domain. *)
-let run_shard ~modes ~granularity ~threaded ~flush_every ~deadline seeds =
+let run_shard ~modes ~granularity ~threaded ~flush_every ~warm_start
+    ~deadline seeds =
   let tot = totals_zero () in
   let reports = ref [] in
   let errors = ref [] in
@@ -151,7 +152,8 @@ let run_shard ~modes ~granularity ~threaded ~flush_every ~deadline seeds =
         List.iter
           (fun mode ->
             match
-              run_seed_mode ~granularity ~threaded ~flush_every seed mode prog
+              run_seed_mode ~granularity ~threaded ~flush_every ~warm_start
+                seed mode prog
             with
             | Ok c -> add_cov tot c
             | Error r -> reports := r :: !reports
@@ -179,12 +181,13 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~tot ~reports
-    ~errors =
+let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~warm_start
+    ~tot ~reports ~errors =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"ildp-dbt-fuzz/1\",\n";
   p "  \"engine\": \"%s\",\n" (if threaded then "threaded" else "instrumented");
+  p "  \"warm_start\": %b,\n" warm_start;
   p "  \"programs\": %d,\n" programs;
   p "  \"seed_range\": [%d, %d],\n" seed (seed + count - 1);
   p "  \"jobs\": %d,\n" jobs;
@@ -231,7 +234,7 @@ let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~tot ~reports
   p "}\n"
 
 let run count seed minutes jobs modes_arg flush_every per_insn threaded
-    json_path quiet =
+    warm_start json_path quiet =
   let modes =
     if modes_arg = "all" then Oracle.Lockstep.all_modes
     else
@@ -268,7 +271,7 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded
         |> List.map (fun shard ->
                Harness.Pool.submit pool (fun () ->
                    run_shard ~modes ~granularity ~threaded ~flush_every
-                     ~deadline (List.rev shard)))
+                     ~warm_start ~deadline (List.rev shard)))
         |> List.map (Harness.Pool.await))
   in
   let tot = totals_zero () in
@@ -300,8 +303,8 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded
     List.iter (fun e -> Printf.eprintf "ERROR: %s\n" e) !errors
   end;
   let emit oc =
-    write_json oc ~programs:!programs ~seed ~count ~jobs ~modes ~threaded ~tot
-      ~reports ~errors:!errors
+    write_json oc ~programs:!programs ~seed ~count ~jobs ~modes ~threaded
+      ~warm_start ~tot ~reports ~errors:!errors
   in
   (match json_path with
   | "-" -> emit stdout
@@ -344,6 +347,13 @@ let cmd =
            ~doc:"Run the VM sink-less so translated execution takes the \
                  threaded-code engine (boundary granularity only).")
   in
+  let warm_start =
+    Arg.(value & flag & info [ "warm-start" ]
+           ~doc:"Save-load-rerun roundtrip: every run first executes cold, \
+                 snapshots its translation cache through the full byte \
+                 encoding, then the VM under comparison warm-starts from \
+                 the snapshot.")
+  in
   let json =
     Arg.(value & opt string "-" & info [ "json" ]
            ~doc:"Write the JSON summary to this file ('-' = stdout).")
@@ -356,6 +366,6 @@ let cmd =
        ~doc:"Differential fuzzing of the DBT against the Alpha interpreter")
     Term.(
       const run $ count $ seed $ minutes $ jobs $ modes $ flush_every
-      $ per_insn $ threaded $ json $ quiet)
+      $ per_insn $ threaded $ warm_start $ json $ quiet)
 
 let () = exit (Cmd.eval cmd)

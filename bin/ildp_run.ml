@@ -45,7 +45,7 @@ let show_outcome buf = function
 (* Run one program; the whole report goes into [buf] so several runs can
    proceed on worker domains without interleaving their output. *)
 let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
-    n_pe comm disasm fuel =
+    n_pe comm disasm fuel save_cache load_cache =
   let prog = load_program src scale in
   let isa = if isa = "basic" then Core.Config.Basic else Core.Config.Modified in
   let chaining =
@@ -80,7 +80,12 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
   else begin
     let cfg = { Core.Config.default with isa; chaining; n_accs } in
     let kind = if straight then Core.Vm.Straight_only else Core.Vm.Acc in
-    let vm = Core.Vm.create ~cfg ~kind prog in
+    let snapshot =
+      match load_cache with
+      | None -> None
+      | Some path -> Some (Persist.Snapshot.read_file path)
+    in
+    let vm = Core.Vm.create ~cfg ?snapshot ~kind prog in
     let ildp_m =
       if ildp then
         Some
@@ -112,6 +117,9 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
       (if straight then "straightened-Alpha" else "accumulator-ISA")
       (Core.Config.isa_name isa)
       (Core.Config.chaining_name chaining);
+    Option.iter
+      (fun path -> Printf.bprintf buf "warm start     : %s\n" path)
+      load_cache;
     Printf.bprintf buf "interp insns   : %d\n" vm.interp_insns;
     Printf.bprintf buf "superblocks    : %d\n" vm.superblocks;
     (match Core.Vm.acc_exec vm with
@@ -155,19 +163,39 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
       (fun m ->
         Printf.bprintf buf "cycles         : %d\n" (Uarch.Ooo.cycles m);
         Printf.bprintf buf "V-ISA IPC      : %.3f\n" (Uarch.Ooo.v_ipc m))
-      ooo_m
+      ooo_m;
+    Option.iter
+      (fun path ->
+        Persist.Snapshot.write_file path (Core.Vm.save_snapshot vm);
+        Printf.bprintf buf "cache saved    : %s\n" path)
+      save_cache
   end
 
 let run srcs scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
-    disasm fuel jobs telemetry =
+    disasm fuel jobs telemetry save_cache load_cache =
   Option.iter (fun _ -> Obs.set_enabled true) telemetry;
+  if (save_cache <> None || load_cache <> None) && List.length srcs > 1 then begin
+    Printf.eprintf "--save-cache/--load-cache need exactly one program\n";
+    exit 2
+  end;
+  if (save_cache <> None || load_cache <> None) && interp_only then begin
+    Printf.eprintf "--save-cache/--load-cache make no sense with --interp\n";
+    exit 2
+  end;
   let report src =
     let buf = Buffer.create 1024 in
     run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
-      n_pe comm disasm fuel;
+      n_pe comm disasm fuel save_cache load_cache;
     Buffer.contents buf
   in
   let used_jobs = ref 1 in
+  (* snapshot problems are user-facing (stale file, wrong flags), not bugs *)
+  let report src =
+    try report src
+    with Persist.Snapshot.Error msg ->
+      Printf.eprintf "snapshot error: %s\n" msg;
+      exit 3
+  in
   (match srcs with
   | [ src ] -> print_string (report src)
   | srcs ->
@@ -227,10 +255,22 @@ let cmd =
     Arg.(value & opt (some string) None & info [ "telemetry-json" ]
            ~doc:"Enable telemetry and write the counter/span export here.")
   in
+  let save_cache =
+    Arg.(value & opt (some string) None & info [ "save-cache" ]
+           ~doc:"After the run, save the translation cache (with its \
+                 hotness profile) as a snapshot here. Single program only.")
+  in
+  let load_cache =
+    Arg.(value & opt (some string) None & info [ "load-cache" ]
+           ~doc:"Warm-start the VM from a snapshot saved with --save-cache. \
+                 The snapshot must match the program and every translation \
+                 flag, or it is rejected. Single program only.")
+  in
   Cmd.v
     (Cmd.info "ildp_run" ~doc:"Run programs under the ILDP co-designed VM")
     Term.(
       const run $ srcs $ scale $ isa $ chaining $ n_accs $ interp $ straight
-      $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel $ jobs $ telemetry)
+      $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel $ jobs $ telemetry
+      $ save_cache $ load_cache)
 
 let () = exit (Cmd.eval cmd)

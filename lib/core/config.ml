@@ -70,3 +70,22 @@ let chaining_name = function
   | No_pred -> "no_pred"
   | Sw_pred_no_ras -> "sw_pred.no_ras"
   | Sw_pred_ras -> "sw_pred.ras"
+
+(* Snapshot fingerprint (lib/persist): every configuration field that
+   changes what the translator emits or how translated code executes must
+   appear here, so that a persisted translation cache can never be loaded
+   under a configuration it was not produced by. [backend] is the VM kind
+   ("acc"/"straight"), [image_digest] identifies the workload image. *)
+let fingerprint cfg ~backend ~image_digest : Persist.Snapshot.fingerprint =
+  {
+    fp_backend = backend;
+    fp_isa = isa_name cfg.isa;
+    fp_chaining = chaining_name cfg.chaining;
+    fp_engine = engine_name cfg.engine;
+    fp_n_accs = cfg.n_accs;
+    fp_hot_threshold = cfg.hot_threshold;
+    fp_max_superblock = cfg.max_superblock;
+    fp_stop_at_translated = cfg.stop_at_translated;
+    fp_fuse_mem = cfg.fuse_mem;
+    fp_image_digest = image_digest;
+  }

@@ -53,3 +53,11 @@ val telemetry : bool ref
 val isa_name : isa -> string
 val chaining_name : chaining -> string
 val engine_name : engine -> string
+
+val fingerprint :
+  t -> backend:string -> image_digest:string -> Persist.Snapshot.fingerprint
+(** The snapshot compatibility fingerprint for this configuration: every
+    field that changes what the translator emits or how translated code
+    executes, plus the VM [backend] name ("acc"/"straight") and the
+    workload [image_digest]. {!Core.Vm.create}[ ~snapshot] refuses any
+    snapshot whose stored fingerprint differs in any field. *)

@@ -684,6 +684,10 @@ let sync_ops t =
         done;
         t.patch_mark <- m)
 
+(* Warm start: pay closure compilation for every restored cache slot up
+   front instead of on the first [run] after a snapshot load. *)
+let prewarm t = sync_ops t
+
 (* Threaded-code trampoline. Statistics and the budget decrement happen
    here, before the op runs (the fault path refunds the faulting
    instruction's credit). The budget check mirrors the instrumented

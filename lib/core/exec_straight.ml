@@ -445,6 +445,10 @@ let sync_ops t =
         done;
         t.patch_mark <- m)
 
+(* Warm start: pay closure compilation for every restored cache slot up
+   front instead of on the first [run] after a snapshot load. *)
+let prewarm t = sync_ops t
+
 let run_threaded ?(fuel = max_int) t ~entry : exit =
   sync_ops t;
   if entry < 0 || entry >= t.ops_len then

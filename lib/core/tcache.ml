@@ -225,13 +225,55 @@ struct
     Vec.clear t.strand_start;
     Vec.clear t.frags;
     Vec.clear t.entry_ix;
-    Vec.clear t.patch_log;
+    (* [reset], not [clear]: the patch log fills during a generation and
+       empties here, so retaining its high-water capacity across repeated
+       flush cycles would leak the largest generation's allocation forever *)
+    Vec.reset t.patch_log;
     t.next_entry <- -1;
     t.gen <- t.gen + 1;
     Hashtbl.reset t.by_ventry;
     Hashtbl.reset t.peis;
     Hashtbl.reset t.pending;
     t.next_addr <- t.base
+
+  let patch_log_capacity t = Vec.capacity t.patch_log
+  let pei_list t = Hashtbl.fold (fun slot p acc -> (slot, p) :: acc) t.peis []
+
+  (* Reload the cache from snapshot contents (Persist subsystem). Like
+     [clear] this starts a new generation — compiled-closure shadows key
+     their validity on [gen] and must recompile from the restored slots —
+     but it is not a flush: no flush telemetry, and the caller provides the
+     complete replacement state. Slot byte addresses are recomputed from
+     [base]; they are a deterministic function of the slot sequence, which
+     is why the snapshot does not carry them. Pending patch closures are
+     not restorable (they capture translator state); an unpatched
+     call-translator slot safely exits to the VM, which re-registers the
+     patch when the target translates again. *)
+  let restore t ~code ~frags ~peis =
+    Vec.clear t.code;
+    Vec.clear t.addr;
+    Vec.clear t.strand_start;
+    Vec.clear t.frags;
+    Vec.clear t.entry_ix;
+    Vec.reset t.patch_log;
+    t.next_entry <- -1;
+    t.gen <- t.gen + 1;
+    Hashtbl.reset t.by_ventry;
+    Hashtbl.reset t.peis;
+    Hashtbl.reset t.pending;
+    t.next_addr <- t.base;
+    Array.iter
+      (fun (insn, strand_start) -> ignore (push ~strand_start t insn))
+      code;
+    Array.iter
+      (fun (f : frag) ->
+        assert (f.id = Vec.length t.frags);
+        Vec.push t.frags f;
+        Hashtbl.replace t.by_ventry f.v_start f.entry_slot;
+        Vec.set t.entry_ix f.entry_slot f.id;
+        Obs.set_max c_frags_hw (f.id + 1))
+      frags;
+    List.iter (fun (slot, p) -> Hashtbl.replace t.peis slot p) peis
 
   let fragments t = Vec.to_list t.frags
 

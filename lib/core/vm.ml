@@ -43,6 +43,7 @@ type seg_stats = {
 
 type t = {
   cfg : Config.t;
+  prog : Alpha.Program.t; (* retained for the snapshot image digest *)
   interp : Alpha.Interp.t;
   backend : backend;
   counters : (int, int) Hashtbl.t;
@@ -60,7 +61,9 @@ let sp_execute = Obs.span "execute"
 let sp_reentry = Obs.span "interp_reentry"
 let sp_flush = Obs.span "flush"
 
-let create ?(cfg = Config.default) ~kind prog =
+(* [create] proper lives below with the snapshot machinery (the [?snapshot]
+   path needs the save/restore helpers); this builds the cold state. *)
+let create_cold ~cfg ~kind prog =
   let interp = Alpha.Interp.create prog in
   let backend =
     match kind with
@@ -71,7 +74,7 @@ let create ?(cfg = Config.default) ~kind prog =
       let ctx = Straighten.create cfg in
       B_straight (ctx, Exec_straight.create ctx interp)
   in
-  { cfg; interp; backend; counters = Hashtbl.create 512; fuel = max_int;
+  { cfg; prog; interp; backend; counters = Hashtbl.create 512; fuel = max_int;
     interp_insns = 0; superblocks = 0;
     segs =
       { branch_exits = 0; pal_exits = 0; dispatch_misses = 0;
@@ -409,3 +412,243 @@ let publish_obs t =
     | B_straight (ctx, _) ->
       Obs.bump c_i_bytes (Tcache.Straight.total_i_bytes ctx.Straighten.tc)
   end
+
+(* ---------- persistent snapshots: save / warm start ---------- *)
+
+(* A snapshot (lib/persist) captures the whole translation cache plus the
+   per-fragment execution counts. Loading one into a fresh VM restores the
+   cache with the generation counter advanced (so the threaded engines
+   recompile their closure shadows from the restored slots), rebuilds the
+   in-memory dispatch table with the profile's hottest fragments installed
+   last (they win the probe-0 collision policy), and optionally pays the
+   closure compilation up front. Pending patch closures are deliberately
+   not persisted: an unpatched call-translator slot merely exits to the VM,
+   which re-dispatches — slower, never wrong. *)
+
+module Vec = Machine.Vec
+
+let c_persist_saves = Obs.counter "persist.saves"
+let c_persist_loads = Obs.counter "persist.loads"
+let c_persist_slots = Obs.counter "persist.restored_slots"
+let c_persist_prewarmed = Obs.counter "persist.prewarmed_frags"
+
+let backend_name t =
+  match t.backend with B_acc _ -> "acc" | B_straight _ -> "straight"
+
+(* Hex MD5 over everything that defines the guest image: section bases and
+   bytes plus the entry point. Two programs with the same digest produce
+   the same superblocks, so a cache keyed on it can never leak fragments
+   across workloads. *)
+let image_digest (prog : Alpha.Program.t) =
+  let b = Buffer.create (String.length prog.text.bytes + 64) in
+  Buffer.add_string b (string_of_int prog.text.base);
+  Buffer.add_char b '|';
+  Buffer.add_string b prog.text.bytes;
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int prog.data.base);
+  Buffer.add_char b '|';
+  Buffer.add_string b prog.data.bytes;
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int prog.entry);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let fingerprint t =
+  Config.fingerprint t.cfg ~backend:(backend_name t)
+    ~image_digest:(image_digest t.prog)
+
+let conv_frag (f : Tcache.frag) : Persist.Snapshot.frag =
+  { f_id = f.id; f_entry_slot = f.entry_slot; f_v_start = f.v_start;
+    f_n_slots = f.n_slots; f_v_insns = f.v_insns; f_v_bytes = f.v_bytes;
+    f_i_bytes = f.i_bytes; f_exec_count = f.exec_count;
+    f_cat_count = Array.copy f.cat_count }
+
+(* Restored fragments restart execution accounting at zero: the persisted
+   count is the *profile* that drove prewarming, not live state. *)
+let unconv_frag (f : Persist.Snapshot.frag) : Tcache.frag =
+  { id = f.f_id; entry_slot = f.f_entry_slot; v_start = f.f_v_start;
+    n_slots = f.f_n_slots; v_insns = f.f_v_insns; v_bytes = f.f_v_bytes;
+    i_bytes = f.f_i_bytes; exec_count = 0;
+    cat_count = Array.copy f.f_cat_count }
+
+let conv_exit : Exitr.reason -> Persist.Snapshot.exit_reason = function
+  | Exitr.R_branch v -> X_branch v
+  | Exitr.R_pal v -> X_pal v
+  | Exitr.R_dispatch_miss -> X_dispatch_miss
+
+let unconv_exit : Persist.Snapshot.exit_reason -> Exitr.reason = function
+  | X_branch v -> Exitr.R_branch v
+  | X_pal v -> Exitr.R_pal v
+  | X_dispatch_miss -> Exitr.R_dispatch_miss
+
+let vec_to_array v = Array.init (Vec.length v) (Vec.get v)
+
+let refill_vec v xs =
+  Vec.clear v;
+  Array.iter (Vec.push v) xs
+
+let build_cache ~slots ~frags ~peis ~exits ~slot_alpha ~slot_class
+    ~dispatch_slot ~unique_vpcs : _ Persist.Snapshot.cache =
+  {
+    slots;
+    frags = Array.of_list (List.map conv_frag frags);
+    peis =
+      (* sorted by slot: Hashtbl fold order is not deterministic, snapshot
+         bytes must be *)
+      Array.of_list
+        (List.map
+           (fun (slot, (p : Tcache.pei)) ->
+             { Persist.Snapshot.p_slot = slot; p_v_pc = p.pei_v_pc;
+               p_acc_map = Array.copy p.acc_map })
+           (List.sort (fun (a, _) (b, _) -> compare a b) peis));
+    exits = Array.map conv_exit (vec_to_array exits);
+    slot_alpha = vec_to_array slot_alpha;
+    slot_class = vec_to_array slot_class;
+    dispatch_slot;
+    unique_vpcs =
+      Array.of_list
+        (List.sort compare
+           (Hashtbl.fold (fun k () acc -> k :: acc) unique_vpcs []));
+  }
+
+let save_snapshot t : Persist.Snapshot.t =
+  Obs.bump c_persist_saves 1;
+  let body =
+    match t.backend with
+    | B_acc (ctx, _) ->
+      let tc = ctx.Translate.tc in
+      let n = Tcache.Acc.n_slots tc in
+      let slots =
+        Array.init n (fun sl ->
+            (Tcache.Acc.get tc sl, Tcache.Acc.starts_strand tc sl))
+      in
+      Persist.Snapshot.B_acc
+        (build_cache ~slots ~frags:(Tcache.Acc.fragments tc)
+           ~peis:(Tcache.Acc.pei_list tc) ~exits:ctx.exits
+           ~slot_alpha:ctx.slot_alpha ~slot_class:ctx.slot_class
+           ~dispatch_slot:ctx.dispatch_slot ~unique_vpcs:ctx.unique_vpcs)
+    | B_straight (ctx, _) ->
+      let tc = ctx.Straighten.tc in
+      let n = Tcache.Straight.n_slots tc in
+      let slots =
+        Array.init n (fun sl ->
+            (Tcache.Straight.get tc sl, Tcache.Straight.starts_strand tc sl))
+      in
+      Persist.Snapshot.B_straight
+        (build_cache ~slots ~frags:(Tcache.Straight.fragments tc)
+           ~peis:(Tcache.Straight.pei_list tc) ~exits:ctx.exits
+           ~slot_alpha:ctx.slot_alpha ~slot_class:ctx.slot_class
+           ~dispatch_slot:ctx.dispatch_slot ~unique_vpcs:ctx.unique_vpcs)
+  in
+  { fingerprint = fingerprint t; body }
+
+let reject fmt =
+  Printf.ksprintf
+    (fun s -> raise (Persist.Snapshot.Error ("snapshot rejected: " ^ s)))
+    fmt
+
+(* Structural sanity over a decoded cache before any of it is installed:
+   the CRC catches corruption of the bytes, this catches a snapshot that
+   decodes cleanly but cannot describe a consistent cache. *)
+let check_cache (c : _ Persist.Snapshot.cache) =
+  let n = Array.length c.slots in
+  if Array.length c.slot_alpha <> n || Array.length c.slot_class <> n then
+    reject "per-slot metadata (%d alpha, %d class) does not match %d slots"
+      (Array.length c.slot_alpha)
+      (Array.length c.slot_class)
+      n;
+  Array.iteri
+    (fun i (f : Persist.Snapshot.frag) ->
+      if f.f_id <> i then reject "fragment ids not dense (%d at index %d)" f.f_id i;
+      if f.f_entry_slot < 0 || f.f_entry_slot >= n then
+        reject "fragment %d entry slot %d out of range [0, %d)" i f.f_entry_slot n)
+    c.frags;
+  Array.iter
+    (fun (p : Persist.Snapshot.pei) ->
+      if p.p_slot < 0 || p.p_slot >= n then
+        reject "PEI slot %d out of range [0, %d)" p.p_slot n)
+    c.peis;
+  if c.dispatch_slot < 0 || c.dispatch_slot >= n then
+    reject "dispatch slot %d out of range [0, %d)" c.dispatch_slot n
+
+let restore_peis (c : _ Persist.Snapshot.cache) =
+  Array.to_list
+    (Array.map
+       (fun (p : Persist.Snapshot.pei) ->
+         (p.p_slot, { Tcache.pei_v_pc = p.p_v_pc; acc_map = Array.copy p.p_acc_map }))
+       c.peis)
+
+(* Rebuild the in-memory dispatch table: every fragment in id order, then
+   the [prewarm_top] hottest (by persisted execution count) re-installed in
+   ascending hotness, so on probe collisions the hottest entry owns probe 0
+   — the profile-guided part of the warm start. Returns how many fragments
+   got priority treatment. *)
+let reinstall_dispatch t (c : _ Persist.Snapshot.cache) ~prewarm_top =
+  let mem = t.interp.mem in
+  Machine.Memory.fill_zero mem ~addr:Translate.table_base
+    ~len:Translate.table_bytes;
+  Array.iter
+    (fun (f : Persist.Snapshot.frag) ->
+      Translate.dispatch_install mem ~v:f.f_v_start ~slot:f.f_entry_slot)
+    c.frags;
+  let hot = Array.copy c.frags in
+  Array.sort
+    (fun (a : Persist.Snapshot.frag) (b : Persist.Snapshot.frag) ->
+      compare (b.f_exec_count, a.f_id) (a.f_exec_count, b.f_id))
+    hot;
+  let n = min prewarm_top (Array.length hot) in
+  for i = n - 1 downto 0 do
+    let f = hot.(i) in
+    Translate.dispatch_install mem ~v:f.f_v_start ~slot:f.f_entry_slot
+  done;
+  n
+
+let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
+  let want = fingerprint t in
+  (match Persist.Snapshot.fingerprint_mismatches ~got:snap.fingerprint ~want with
+  | [] -> ()
+  | ms -> reject "%s" (String.concat "; " ms));
+  let prewarmed, slots =
+    match (t.backend, snap.body) with
+    | B_acc (ctx, ex), Persist.Snapshot.B_acc c ->
+      check_cache c;
+      Tcache.Acc.restore ctx.Translate.tc ~code:c.slots
+        ~frags:(Array.map unconv_frag c.frags) ~peis:(restore_peis c);
+      refill_vec ctx.exits (Array.map unconv_exit c.exits);
+      refill_vec ctx.slot_alpha c.slot_alpha;
+      refill_vec ctx.slot_class c.slot_class;
+      ctx.dispatch_slot <- c.dispatch_slot;
+      Hashtbl.reset ctx.unique_vpcs;
+      Array.iter (fun v -> Hashtbl.replace ctx.unique_vpcs v ()) c.unique_vpcs;
+      let n = reinstall_dispatch t c ~prewarm_top in
+      if t.cfg.engine = Config.Threaded then Exec_acc.prewarm ex;
+      (n, Array.length c.slots)
+    | B_straight (ctx, ex), Persist.Snapshot.B_straight c ->
+      check_cache c;
+      Tcache.Straight.restore ctx.Straighten.tc ~code:c.slots
+        ~frags:(Array.map unconv_frag c.frags) ~peis:(restore_peis c);
+      refill_vec ctx.exits (Array.map unconv_exit c.exits);
+      refill_vec ctx.slot_alpha c.slot_alpha;
+      refill_vec ctx.slot_class c.slot_class;
+      ctx.dispatch_slot <- c.dispatch_slot;
+      Hashtbl.reset ctx.unique_vpcs;
+      Array.iter (fun v -> Hashtbl.replace ctx.unique_vpcs v ()) c.unique_vpcs;
+      let n = reinstall_dispatch t c ~prewarm_top in
+      if t.cfg.engine = Config.Threaded then Exec_straight.prewarm ex;
+      (n, Array.length c.slots)
+    | _ ->
+      (* unreachable through [fingerprint_mismatches] unless the file was
+         hand-crafted with an inconsistent backend/body pair *)
+      reject "body does not match the %s backend" (backend_name t)
+  in
+  Obs.bump c_persist_loads 1;
+  Obs.bump c_persist_slots slots;
+  Obs.bump c_persist_prewarmed prewarmed
+
+(* [prewarm_top] bounds how many fragments get dispatch-table priority on
+   a warm start; closure compilation covers every restored slot. *)
+let create ?(cfg = Config.default) ?snapshot ?(prewarm_top = 8) ~kind prog =
+  let t = create_cold ~cfg ~kind prog in
+  (match snapshot with
+  | None -> ()
+  | Some snap -> load_snapshot t ~prewarm_top snap);
+  t

@@ -122,6 +122,50 @@ let check_harness doc ~ids =
         (List.length base_ids));
   { ok = !ok; lines = List.rev !lines }
 
+(* ---- persist bench ---- *)
+
+(* Structural check of a BENCH_persist.json baseline: every recorded
+   workload must have verified (cold and warm runs observationally
+   identical) and shown a positive translation-phase reduction. No re-run:
+   the numbers are deterministic cost-model units, so a stale-but-green
+   baseline cannot mask a live regression — the snapshot-roundtrip CI job
+   regenerates and gates the live path. *)
+let check_persist doc =
+  let module J = Obs.Json in
+  let ok = ref true and lines = ref [] in
+  (match Option.bind (J.member "workloads" doc) J.to_list with
+  | None -> failf ok lines "baseline: malformed persist document (no workloads)"
+  | Some [] -> failf ok lines "baseline: persist document has no workloads"
+  | Some rows ->
+    List.iter
+      (fun row ->
+        let name =
+          Option.value ~default:"?"
+            (Option.bind (J.member "name" row) J.to_str)
+        in
+        (match Option.bind (J.member "verified" row) J.to_bool with
+        | Some true -> ()
+        | Some false ->
+          failf ok lines "%s: baseline marked unverified (cold/warm diverged)"
+            name
+        | None -> failf ok lines "%s: missing \"verified\" field" name);
+        (match
+           Option.bind (J.member "translate_reduction" row) J.to_float
+         with
+        | Some r when r > 0.0 -> ()
+        | Some r ->
+          failf ok lines "%s: translation-phase reduction %.3f not positive"
+            name r
+        | None -> failf ok lines "%s: missing \"translate_reduction\" field" name);
+        match Option.bind (J.member "fingerprint" row) (J.member "image_digest") with
+        | Some _ -> ()
+        | None -> failf ok lines "%s: missing fingerprint.image_digest" name)
+      rows;
+    if !ok then
+      okf lines "all %d persist workloads verified with positive reduction"
+        (List.length rows));
+  { ok = !ok; lines = List.rev !lines }
+
 (* ---- dispatch ---- *)
 
 let prefixed p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
@@ -136,5 +180,6 @@ let run ~tol ~ids ~sweep path =
     match Obs.Envelope.schema_of doc with
     | Some s when prefixed "ildp-dbt-exec-bench/" s -> check_exec ~tol doc (sweep ())
     | Some s when prefixed "ildp-dbt-bench/" s -> check_harness doc ~ids
+    | Some s when prefixed "ildp-dbt-persist/" s -> check_persist doc
     | Some s -> { ok = false; lines = [ Printf.sprintf "FAIL unknown schema %S" s ] }
     | None -> { ok = false; lines = [ "FAIL baseline has no \"schema\" field" ] })

@@ -117,6 +117,17 @@ let fig9 dir ~scale =
   in
   write_file dir "fig9.csv" ("benchmark" :: List.map (fun (n, _, _, _, _) -> n) cfgs) rows
 
+(* RFC 4180 quoting for fields the harness does not control: telemetry
+   names are free-form strings picked at instrumentation sites, and a
+   comma or quote in one would shift every column after it. *)
+let escape s =
+  if
+    String.exists
+      (function ',' | '"' | '\n' | '\r' -> true | _ -> false)
+      s
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
 (* Flat summary of a telemetry snapshot, written next to the JSON export
    ([--telemetry-json FILE] also writes [FILE]'s [.csv] sibling). One row
    per counter and span, one per histogram bucket; the [seconds] column is
@@ -125,7 +136,7 @@ let telemetry path (snap : Obs.snapshot) =
   let oc = open_out path in
   output_string oc "kind,name,value,seconds\n";
   List.iter
-    (fun (n, v) -> Printf.fprintf oc "counter,%s,%d,\n" n v)
+    (fun (n, v) -> Printf.fprintf oc "counter,%s,%d,\n" (escape n) v)
     snap.Obs.counters;
   List.iter
     (fun (n, bounds, counts) ->
@@ -135,12 +146,14 @@ let telemetry path (snap : Obs.snapshot) =
             if i < Array.length bounds then Printf.sprintf "le%d" bounds.(i)
             else "overflow"
           in
-          Printf.fprintf oc "histogram,%s[%s],%d,\n" n b c)
+          Printf.fprintf oc "histogram,%s,%d,\n"
+            (escape (Printf.sprintf "%s[%s]" n b))
+            c)
         counts)
     snap.Obs.histograms;
   List.iter
     (fun (n, count, secs) ->
-      Printf.fprintf oc "span,%s,%d,%.6f\n" n count secs)
+      Printf.fprintf oc "span,%s,%d,%.6f\n" (escape n) count secs)
     snap.Obs.spans;
   close_out oc;
   path

@@ -5,7 +5,9 @@
 
 type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 
-let create ~dummy = { data = Array.make 16 dummy; len = 0; dummy }
+let initial_capacity = 16
+
+let create ~dummy = { data = Array.make initial_capacity dummy; len = 0; dummy }
 
 let length t = t.len
 
@@ -18,6 +20,13 @@ let set t i v =
   t.data.(i) <- v
 
 let clear t = t.len <- 0
+
+let reset t =
+  t.len <- 0;
+  if Array.length t.data > initial_capacity then
+    t.data <- Array.make initial_capacity t.dummy
+
+let capacity t = Array.length t.data
 
 let push t v =
   if t.len = Array.length t.data then begin

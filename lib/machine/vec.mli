@@ -13,6 +13,15 @@ val set : 'a t -> int -> 'a -> unit
 val clear : 'a t -> unit
 (** Reset to length zero (capacity retained). *)
 
+val reset : 'a t -> unit
+(** Reset to length zero and drop the backing storage to the initial
+    capacity. For vectors with episodic growth (the translation cache's
+    patch log grows during a generation and empties on flush), [clear]
+    would pin the high-water allocation forever; [reset] returns it. *)
+
+val capacity : 'a t -> int
+(** Current backing-array size (>= [length]). *)
+
 val push : 'a t -> 'a -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val to_list : 'a t -> 'a list

@@ -129,7 +129,8 @@ let fragment_at vm i_pc =
     | None, None -> None
 
 let run ?(granularity = Boundary) ?(threaded = false) ?(flush_every = 0)
-    ?(fuel = 50_000_000) ?(hot_threshold = 10) ?corrupt ~mode prog =
+    ?(fuel = 50_000_000) ?(hot_threshold = 10) ?(warm_start = false) ?corrupt
+    ~mode prog =
   (* per-instruction comparison is unsound mid-fragment for accumulator
      backends (deferred state copies); restrict it to straightened code.
      The threaded-code engine emits no events at all, so under [threaded]
@@ -145,7 +146,22 @@ let run ?(granularity = Boundary) ?(threaded = false) ?(flush_every = 0)
       isa = mode.isa; chaining = mode.chaining; fuse_mem = mode.fuse_mem;
       hot_threshold }
   in
-  let vm = Core.Vm.create ~cfg ~kind:mode.kind prog in
+  (* Warm start under test: run a throwaway VM of the same configuration
+     cold to completion, snapshot its translation cache, push the snapshot
+     through the full byte encoding (codec + CRC, exactly what a file sees),
+     and build the VM under comparison from that. The oracle then proves a
+     snapshot-loaded VM observationally identical to a cold one. *)
+  let snapshot =
+    if not warm_start then None
+    else begin
+      let seed = Core.Vm.create ~cfg ~kind:mode.kind prog in
+      ignore (Core.Vm.run ~fuel seed : Core.Vm.outcome);
+      Some
+        (Persist.Snapshot.of_string
+           (Persist.Snapshot.to_string (Core.Vm.save_snapshot seed)))
+    end
+  in
+  let vm = Core.Vm.create ~cfg ?snapshot ~kind:mode.kind prog in
   (* dirty tracking from here on: the loaded images are identical, so the
      write sets alone bound where the states can differ before the final
      full-image comparison *)

@@ -75,6 +75,7 @@ val run :
   ?flush_every:int ->
   ?fuel:int ->
   ?hot_threshold:int ->
+  ?warm_start:bool ->
   ?corrupt:(int -> Core.Vm.t -> unit) ->
   mode:mode ->
   Alpha.Program.t ->
@@ -87,7 +88,11 @@ val run :
     divergence reports. [flush_every] > 0 injects a {!Core.Vm.flush}
     every that many segment boundaries (default 0 = never).
     [hot_threshold] defaults to 10 so short programs reach translated
-    code. [corrupt], a test hook, runs after the comparison at each
+    code. [warm_start] (default false) first runs a throwaway VM cold to
+    completion, saves its translation cache through the full
+    {!Persist.Snapshot} byte encoding, and builds the VM under comparison
+    from that snapshot — proving warm start observationally identical to
+    cold. [corrupt], a test hook, runs after the comparison at each
     boundary (1-based index) and may mutate VM state to prove the oracle
     catches it. *)
 

@@ -1,0 +1,376 @@
+(* Instruction codecs for the snapshot format.
+
+   Translated code is what a snapshot preserves, and the VM extension
+   instructions (LTA, PUSH-DRAS, RET-DRAS, CALL-XLATE, SET-VBASE) have no
+   32-bit memory encoding — they exist only inside the translation cache —
+   so both cached instruction types get an explicit tagged encoding here
+   rather than reusing {!Alpha.Encode}. Tag values and enum orders are part
+   of the on-disk format: changing any of them requires bumping
+   {!Snapshot.version}. *)
+
+module B = Bin_io
+
+let enum_encoder name (all : 'a array) : 'a -> int =
+  let tbl = Hashtbl.create (Array.length all) in
+  Array.iteri (fun i v -> Hashtbl.replace tbl v i) all;
+  fun v ->
+    match Hashtbl.find_opt tbl v with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Codec: unregistered %s" name)
+
+let enum_decoder name (all : 'a array) r i =
+  if i < 0 || i >= Array.length all then
+    B.error r "invalid %s code %d (max %d)" name i (Array.length all - 1)
+  else all.(i)
+
+(* ---------- shared Alpha enums ---------- *)
+
+let op3_all : Alpha.Insn.op3 array =
+  [|
+    Addl; Addq; Subl; Subq;
+    S4addl; S4addq; S8addl; S8addq; S4subl; S4subq; S8subl; S8subq;
+    Cmpeq; Cmplt; Cmple; Cmpult; Cmpule; Cmpbge;
+    And_; Bic; Bis; Ornot; Xor; Eqv;
+    Sll; Srl; Sra;
+    Extbl; Extwl; Extll; Extql; Extwh; Extlh; Extqh;
+    Insbl; Inswl; Insll; Insql;
+    Mskbl; Mskwl; Mskll; Mskql;
+    Zap; Zapnot;
+    Mull; Mulq; Umulh;
+    Sextb; Sextw;
+    Ctpop; Ctlz; Cttz;
+    Cmoveq; Cmovne; Cmovlt; Cmovge; Cmovle; Cmovgt; Cmovlbs; Cmovlbc;
+  |]
+
+let cond_all : Alpha.Insn.cond array = [| Eq; Ne; Lt; Ge; Le; Gt; Lbc; Lbs |]
+
+let mem_op_all : Alpha.Insn.mem_op array =
+  [| Ldq; Ldl; Ldwu; Ldbu; Stq; Stl; Stw; Stb; Lda; Ldah |]
+
+let jkind_all : Alpha.Insn.jkind array = [| Jmp; Jsr; Ret |]
+let width_all : Accisa.Insn.width array = [| W1; W2; W4; W8 |]
+
+let op3_code = enum_encoder "op3" op3_all
+let cond_code = enum_encoder "cond" cond_all
+let mem_op_code = enum_encoder "mem_op" mem_op_all
+let jkind_code = enum_encoder "jkind" jkind_all
+let width_code = enum_encoder "width" width_all
+
+let put_op3 w v = B.u8 w (op3_code v)
+let get_op3 r = enum_decoder "op3" op3_all r (B.read_u8 r)
+let put_cond w v = B.u8 w (cond_code v)
+let get_cond r = enum_decoder "cond" cond_all r (B.read_u8 r)
+let put_mem_op w v = B.u8 w (mem_op_code v)
+let get_mem_op r = enum_decoder "mem_op" mem_op_all r (B.read_u8 r)
+let put_jkind w v = B.u8 w (jkind_code v)
+let get_jkind r = enum_decoder "jkind" jkind_all r (B.read_u8 r)
+let put_width w v = B.u8 w (width_code v)
+let get_width r = enum_decoder "width" width_all r (B.read_u8 r)
+
+(* ---------- accumulator-ISA operands ---------- *)
+
+let put_src w : Accisa.Insn.src -> unit = function
+  | Sacc a ->
+    B.u8 w 0;
+    B.int w a
+  | Sgpr g ->
+    B.u8 w 1;
+    B.int w g
+  | Simm v ->
+    B.u8 w 2;
+    B.i64 w v
+
+let get_src r : Accisa.Insn.src =
+  match B.read_u8 r with
+  | 0 -> Sacc (B.read_int r)
+  | 1 -> Sgpr (B.read_int r)
+  | 2 -> Simm (B.read_i64 r)
+  | t -> B.error r "invalid src tag %d" t
+
+let put_dst w (d : Accisa.Insn.dst) =
+  B.int w d.dacc;
+  (match d.gdst with
+  | None -> B.u8 w 0
+  | Some g ->
+    B.u8 w 1;
+    B.int w g);
+  B.bool w d.gopr
+
+let get_dst r : Accisa.Insn.dst =
+  let dacc = B.read_int r in
+  let gdst =
+    match B.read_u8 r with
+    | 0 -> None
+    | 1 -> Some (B.read_int r)
+    | t -> B.error r "invalid gdst tag %d" t
+  in
+  let gopr = B.read_bool r in
+  { dacc; gdst; gopr }
+
+(* ---------- accumulator-ISA instructions ---------- *)
+
+let put_acc_insn w : Accisa.Insn.t -> unit = function
+  | Alu { op; d; a; b } ->
+    B.u8 w 0;
+    put_op3 w op;
+    put_dst w d;
+    put_src w a;
+    put_src w b
+  | Cmov_test { cond; d; cv; old } ->
+    B.u8 w 1;
+    put_cond w cond;
+    put_dst w d;
+    put_src w cv;
+    put_src w old
+  | Cmov_sel { d; p; nv } ->
+    B.u8 w 2;
+    put_dst w d;
+    put_src w p;
+    put_src w nv
+  | Load { width; signed; d; base; disp } ->
+    B.u8 w 3;
+    put_width w width;
+    B.bool w signed;
+    put_dst w d;
+    put_src w base;
+    B.int w disp
+  | Store { width; value; base; disp } ->
+    B.u8 w 4;
+    put_width w width;
+    put_src w value;
+    put_src w base;
+    B.int w disp
+  | Copy_to_gpr { g; a } ->
+    B.u8 w 5;
+    B.int w g;
+    B.int w a
+  | Copy_from_gpr { d; g } ->
+    B.u8 w 6;
+    put_dst w d;
+    B.int w g
+  | Br { target } ->
+    B.u8 w 7;
+    B.int w target
+  | Bc { cond; v; target } ->
+    B.u8 w 8;
+    put_cond w cond;
+    put_src w v;
+    B.int w target
+  | Jmp_ind { v } ->
+    B.u8 w 9;
+    put_src w v
+  | Lta { d; value } ->
+    B.u8 w 10;
+    put_dst w d;
+    B.i64 w value
+  | Set_vbase { vaddr } ->
+    B.u8 w 11;
+    B.int w vaddr
+  | Push_dras { g; v_ret; i_ret } ->
+    B.u8 w 12;
+    B.int w g;
+    B.int w v_ret;
+    B.int w i_ret
+  | Ret_dras { v } ->
+    B.u8 w 13;
+    put_src w v
+  | Call_xlate { exit_id } ->
+    B.u8 w 14;
+    B.int w exit_id
+  | Call_xlate_cond { cond; v; exit_id } ->
+    B.u8 w 15;
+    put_cond w cond;
+    put_src w v;
+    B.int w exit_id
+
+let get_acc_insn r : Accisa.Insn.t =
+  match B.read_u8 r with
+  | 0 ->
+    let op = get_op3 r in
+    let d = get_dst r in
+    let a = get_src r in
+    let b = get_src r in
+    Alu { op; d; a; b }
+  | 1 ->
+    let cond = get_cond r in
+    let d = get_dst r in
+    let cv = get_src r in
+    let old = get_src r in
+    Cmov_test { cond; d; cv; old }
+  | 2 ->
+    let d = get_dst r in
+    let p = get_src r in
+    let nv = get_src r in
+    Cmov_sel { d; p; nv }
+  | 3 ->
+    let width = get_width r in
+    let signed = B.read_bool r in
+    let d = get_dst r in
+    let base = get_src r in
+    let disp = B.read_int r in
+    Load { width; signed; d; base; disp }
+  | 4 ->
+    let width = get_width r in
+    let value = get_src r in
+    let base = get_src r in
+    let disp = B.read_int r in
+    Store { width; value; base; disp }
+  | 5 ->
+    let g = B.read_int r in
+    let a = B.read_int r in
+    Copy_to_gpr { g; a }
+  | 6 ->
+    let d = get_dst r in
+    let g = B.read_int r in
+    Copy_from_gpr { d; g }
+  | 7 -> Br { target = B.read_int r }
+  | 8 ->
+    let cond = get_cond r in
+    let v = get_src r in
+    let target = B.read_int r in
+    Bc { cond; v; target }
+  | 9 -> Jmp_ind { v = get_src r }
+  | 10 ->
+    let d = get_dst r in
+    let value = B.read_i64 r in
+    Lta { d; value }
+  | 11 -> Set_vbase { vaddr = B.read_int r }
+  | 12 ->
+    let g = B.read_int r in
+    let v_ret = B.read_int r in
+    let i_ret = B.read_int r in
+    Push_dras { g; v_ret; i_ret }
+  | 13 -> Ret_dras { v = get_src r }
+  | 14 -> Call_xlate { exit_id = B.read_int r }
+  | 15 ->
+    let cond = get_cond r in
+    let v = get_src r in
+    let exit_id = B.read_int r in
+    Call_xlate_cond { cond; v; exit_id }
+  | t -> B.error r "invalid accumulator-ISA instruction tag %d" t
+
+(* ---------- Alpha instructions (straightening backend) ---------- *)
+
+let put_operand w : Alpha.Insn.operand -> unit = function
+  | Rb reg ->
+    B.u8 w 0;
+    B.int w reg
+  | Imm v ->
+    B.u8 w 1;
+    B.int w v
+
+let get_operand r : Alpha.Insn.operand =
+  match B.read_u8 r with
+  | 0 -> Rb (B.read_int r)
+  | 1 -> Imm (B.read_int r)
+  | t -> B.error r "invalid operand tag %d" t
+
+let put_alpha_insn w : Alpha.Insn.t -> unit = function
+  | Mem (op, ra, disp, rb) ->
+    B.u8 w 0;
+    put_mem_op w op;
+    B.int w ra;
+    B.int w disp;
+    B.int w rb
+  | Opr (op, ra, rb, rc) ->
+    B.u8 w 1;
+    put_op3 w op;
+    B.int w ra;
+    put_operand w rb;
+    B.int w rc
+  | Br (ra, disp) ->
+    B.u8 w 2;
+    B.int w ra;
+    B.int w disp
+  | Bsr (ra, disp) ->
+    B.u8 w 3;
+    B.int w ra;
+    B.int w disp
+  | Bc (cond, ra, disp) ->
+    B.u8 w 4;
+    put_cond w cond;
+    B.int w ra;
+    B.int w disp
+  | Jump (jk, ra, rb) ->
+    B.u8 w 5;
+    put_jkind w jk;
+    B.int w ra;
+    B.int w rb
+  | Call_pal n ->
+    B.u8 w 6;
+    B.int w n
+  | Lta (ra, addr) ->
+    B.u8 w 7;
+    B.int w ra;
+    B.int w addr
+  | Push_dras (ra, v_ret, i_ret) ->
+    B.u8 w 8;
+    B.int w ra;
+    B.int w v_ret;
+    B.int w i_ret
+  | Ret_dras rb ->
+    B.u8 w 9;
+    B.int w rb
+  | Call_xlate exit_id ->
+    B.u8 w 10;
+    B.int w exit_id
+  | Call_xlate_cond (cond, ra, exit_id) ->
+    B.u8 w 11;
+    put_cond w cond;
+    B.int w ra;
+    B.int w exit_id
+  | Set_vbase vaddr ->
+    B.u8 w 12;
+    B.int w vaddr
+
+let get_alpha_insn r : Alpha.Insn.t =
+  match B.read_u8 r with
+  | 0 ->
+    let op = get_mem_op r in
+    let ra = B.read_int r in
+    let disp = B.read_int r in
+    let rb = B.read_int r in
+    Mem (op, ra, disp, rb)
+  | 1 ->
+    let op = get_op3 r in
+    let ra = B.read_int r in
+    let rb = get_operand r in
+    let rc = B.read_int r in
+    Opr (op, ra, rb, rc)
+  | 2 ->
+    let ra = B.read_int r in
+    let disp = B.read_int r in
+    Br (ra, disp)
+  | 3 ->
+    let ra = B.read_int r in
+    let disp = B.read_int r in
+    Bsr (ra, disp)
+  | 4 ->
+    let cond = get_cond r in
+    let ra = B.read_int r in
+    let disp = B.read_int r in
+    Bc (cond, ra, disp)
+  | 5 ->
+    let jk = get_jkind r in
+    let ra = B.read_int r in
+    let rb = B.read_int r in
+    Jump (jk, ra, rb)
+  | 6 -> Call_pal (B.read_int r)
+  | 7 ->
+    let ra = B.read_int r in
+    let addr = B.read_int r in
+    Lta (ra, addr)
+  | 8 ->
+    let ra = B.read_int r in
+    let v_ret = B.read_int r in
+    let i_ret = B.read_int r in
+    Push_dras (ra, v_ret, i_ret)
+  | 9 -> Ret_dras (B.read_int r)
+  | 10 -> Call_xlate (B.read_int r)
+  | 11 ->
+    let cond = get_cond r in
+    let ra = B.read_int r in
+    let exit_id = B.read_int r in
+    Call_xlate_cond (cond, ra, exit_id)
+  | 12 -> Set_vbase (B.read_int r)
+  | t -> B.error r "invalid Alpha instruction tag %d" t

@@ -18,4 +18,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("exec_closure", Test_exec_closure.suite);
       ("obs", Test_obs.suite);
+      ("persist", Test_persist.suite);
     ]

@@ -292,6 +292,67 @@ let test_json_rejects_garbage () =
       | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s))
     [ ""; "{"; "[1,]"; "{\"a\":1} x"; "nul"; "\"\\q\"" ]
 
+(* Parse errors must carry a byte position so a broken multi-megabyte
+   baseline or snapshot-metadata file is debuggable. *)
+let test_json_errors_carry_position () =
+  let module J = Obs.Json in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (input, expected) ->
+      match J.parse_string input with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" input)
+      | Error e ->
+        check Alcotest.bool
+          (Printf.sprintf "%S: %S mentions %S" input e expected)
+          true (contains e expected))
+    [ ("{\"a\":}", "parse error at byte 5");
+      ("[1, 2, x]", "parse error at byte 7");
+      ("{\"a\":1} x", "trailing garbage at byte 8") ]
+
+(* Deep nesting exercises the recursive printer/parser pair well past any
+   realistic document depth without blowing the stack. *)
+let test_json_deep_nesting () =
+  let module J = Obs.Json in
+  let depth = 2_000 in
+  let rec build n = if n = 0 then J.Int 7 else J.Obj [ ("k", J.List [ build (n - 1) ]) ] in
+  let doc = build depth in
+  match J.parse_string (J.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok doc' ->
+    let rec probe n d =
+      if n = 0 then J.to_int d
+      else
+        Option.bind (J.member "k" d) (fun l ->
+            Option.bind (J.to_list l) (function
+              | [ inner ] -> probe (n - 1) inner
+              | _ -> None))
+    in
+    check (Alcotest.option Alcotest.int) "leaf survives" (Some 7)
+      (probe depth doc')
+
+(* The snapshot fingerprint travels through BENCH_persist.json; the JSON
+   projection must invert exactly, or the CI checker would compare the
+   wrong configuration. *)
+let test_json_fingerprint_roundtrip () =
+  let fp =
+    { Persist.Snapshot.fp_backend = "acc"; fp_isa = "modified";
+      fp_chaining = "sw_pred_ras"; fp_engine = "threaded"; fp_n_accs = 4;
+      fp_hot_threshold = 45; fp_max_superblock = 200;
+      fp_stop_at_translated = false; fp_fuse_mem = true;
+      fp_image_digest = "00ff a\"b,c" }
+  in
+  let doc = Harness.Persist_bench.json_of_fp fp in
+  match Obs.Json.parse_string (Obs.Json.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok doc' -> (
+    match Harness.Persist_bench.fp_of_json doc' with
+    | None -> Alcotest.fail "fingerprint projection did not parse back"
+    | Some fp' -> check Alcotest.bool "fields identical" true (fp = fp'))
+
 let test_envelope () =
   Obs.set_enabled true;
   Obs.bump c_a 9;
@@ -340,5 +401,11 @@ let suite =
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json rejects malformed input" `Quick
       test_json_rejects_garbage;
+    Alcotest.test_case "json errors carry byte positions" `Quick
+      test_json_errors_carry_position;
+    Alcotest.test_case "json deep nesting roundtrip" `Quick
+      test_json_deep_nesting;
+    Alcotest.test_case "fingerprint json roundtrip" `Quick
+      test_json_fingerprint_roundtrip;
     Alcotest.test_case "envelope export" `Quick (fresh test_envelope);
   ]
