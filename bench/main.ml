@@ -201,6 +201,32 @@ let run_throughput fmt ~scale ~repeats =
     exit 1
   end
 
+(* ---------- region tier-up throughput (three-way, verified) ---------- *)
+
+(* Not a paper experiment: wall-clock throughput of the region tier-up
+   engine against both the instrumented and plain threaded engines, with
+   full cross-engine state verification of the region runs. Exit status 1
+   on any divergence, so CI can gate on it alongside functional-throughput. *)
+let run_region_throughput fmt ~scale ~repeats =
+  let rows = Harness.Throughput.region_sweep ~scale ~repeats () in
+  ignore (Harness.Throughput.render_region fmt rows);
+  Format.pp_print_flush fmt ();
+  Option.iter
+    (fun path ->
+      Harness.Throughput.write_region_json path ~jobs:1 ~scale
+        ~fuel:Harness.Throughput.default_fuel ~repeats rows;
+      Printf.printf "wrote %s\n" path)
+    !bench_json;
+  if
+    List.exists
+      (fun (r : Harness.Throughput.region_row) -> r.rr_mismatches <> [])
+      rows
+  then begin
+    prerr_endline
+      "region-throughput: region engine diverged from match engine";
+    exit 1
+  end
+
 (* ---------- persistent-snapshot warm start (cold vs warm) ---------- *)
 
 (* Not a paper experiment: cold-vs-warm start of the VM from a persisted
@@ -231,7 +257,8 @@ let run_persist fmt ~scale =
     !bench_json;
   if
     List.exists
-      (fun (r : Harness.Persist_bench.row) -> r.mismatches <> [])
+      (fun (r : Harness.Persist_bench.row) ->
+        r.mismatches <> [] || r.region_mismatches <> [])
       rows
   then begin
     prerr_endline "persist: warm start diverged from cold start";
@@ -265,7 +292,10 @@ let run_check path =
     List.map (fun (e : Harness.Experiments.exp) -> e.id) Harness.Experiments.all
   in
   let sweep () = Harness.Throughput.sweep ~scale:!scale ~repeats:!repeats () in
-  let r = Harness.Check.run ~tol:!check_tol ~ids ~sweep path in
+  let region_sweep () =
+    Harness.Throughput.region_sweep ~scale:!scale ~repeats:!repeats ()
+  in
+  let r = Harness.Check.run ~tol:!check_tol ~ids ~sweep ~region_sweep path in
   Printf.printf "check %s (tol ±%.0f%%)\n" path (100.0 *. !check_tol);
   List.iter print_endline r.Harness.Check.lines;
   if not r.Harness.Check.ok then exit 1
@@ -293,6 +323,8 @@ let () =
       Harness.Experiments.all;
     Printf.printf "%-8s %s\n" "functional-throughput"
       "VM execution-engine throughput (threaded vs. match), verified";
+    Printf.printf "%-8s %s\n" "region-throughput"
+      "region tier-up engine throughput (three-way, verified)";
     Printf.printf "%-8s %s\n" "persist"
       "cold vs warm start from a translation-cache snapshot, verified"
   end
@@ -324,6 +356,8 @@ let () =
     (match !experiment with
     | Some "functional-throughput" ->
       run_throughput fmt ~scale:!scale ~repeats:!repeats
+    | Some "region-throughput" ->
+      run_region_throughput fmt ~scale:!scale ~repeats:!repeats
     | Some "persist" -> run_persist fmt ~scale:!scale
     | Some id -> (
       match Harness.Experiments.find id with

@@ -99,10 +99,11 @@ type report = {
 (* One seed under one mode; on divergence, minimize the block list with
    ddmin (the predicate re-runs the oracle on the rendered subset) and
    re-derive the report from the minimized program. *)
-let run_seed_mode ~granularity ~threaded ~flush_every ~warm_start seed mode
-    (prog : Oracle.Gen.program) =
+let run_seed_mode ~granularity ~threaded ~region ~flush_every ~warm_start seed
+    mode (prog : Oracle.Gen.program) =
   let go blocks =
-    Oracle.Lockstep.run ~granularity ~threaded ~flush_every ~warm_start ~mode
+    Oracle.Lockstep.run ~granularity ~threaded ~region ~flush_every ~warm_start
+      ~mode
       (Oracle.Gen.assemble ~blocks prog)
   in
   match go prog.blocks with
@@ -131,7 +132,7 @@ let run_seed_mode ~granularity ~threaded ~flush_every ~warm_start seed mode
       }
 
 (* A shard of contiguous seeds processed on one worker domain. *)
-let run_shard ~modes ~granularity ~threaded ~flush_every ~warm_start
+let run_shard ~modes ~granularity ~threaded ~region ~flush_every ~warm_start
     ~deadline seeds =
   let tot = totals_zero () in
   let reports = ref [] in
@@ -152,8 +153,8 @@ let run_shard ~modes ~granularity ~threaded ~flush_every ~warm_start
         List.iter
           (fun mode ->
             match
-              run_seed_mode ~granularity ~threaded ~flush_every ~warm_start
-                seed mode prog
+              run_seed_mode ~granularity ~threaded ~region ~flush_every
+                ~warm_start seed mode prog
             with
             | Ok c -> add_cov tot c
             | Error r -> reports := r :: !reports
@@ -181,12 +182,15 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~warm_start
-    ~tot ~reports ~errors =
+let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~region
+    ~warm_start ~tot ~reports ~errors =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"ildp-dbt-fuzz/1\",\n";
-  p "  \"engine\": \"%s\",\n" (if threaded then "threaded" else "instrumented");
+  p "  \"engine\": \"%s\",\n"
+    (if region then "region"
+     else if threaded then "threaded"
+     else "instrumented");
   p "  \"warm_start\": %b,\n" warm_start;
   p "  \"programs\": %d,\n" programs;
   p "  \"seed_range\": [%d, %d],\n" seed (seed + count - 1);
@@ -233,7 +237,7 @@ let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~warm_start
        (List.map (fun e -> "\"" ^ json_escape e ^ "\"") errors));
   p "}\n"
 
-let run count seed minutes jobs modes_arg flush_every per_insn threaded
+let run count seed minutes jobs modes_arg flush_every per_insn threaded region
     warm_start json_path quiet =
   let modes =
     if modes_arg = "all" then Oracle.Lockstep.all_modes
@@ -270,8 +274,8 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded
         Array.to_list shards
         |> List.map (fun shard ->
                Harness.Pool.submit pool (fun () ->
-                   run_shard ~modes ~granularity ~threaded ~flush_every
-                     ~warm_start ~deadline (List.rev shard)))
+                   run_shard ~modes ~granularity ~threaded ~region
+                     ~flush_every ~warm_start ~deadline (List.rev shard)))
         |> List.map (Harness.Pool.await))
   in
   let tot = totals_zero () in
@@ -304,7 +308,7 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded
   end;
   let emit oc =
     write_json oc ~programs:!programs ~seed ~count ~jobs ~modes ~threaded
-      ~warm_start ~tot ~reports ~errors:!errors
+      ~region ~warm_start ~tot ~reports ~errors:!errors
   in
   (match json_path with
   | "-" -> emit stdout
@@ -347,6 +351,13 @@ let cmd =
            ~doc:"Run the VM sink-less so translated execution takes the \
                  threaded-code engine (boundary granularity only).")
   in
+  let region =
+    Arg.(value & flag & info [ "region" ]
+           ~doc:"Run the VM sink-less under the region tier-up engine with \
+                 an aggressive promotion threshold, validating region \
+                 compilation, bulk accounting, and invalidation (implies \
+                 the sink-less setup of --threaded).")
+  in
   let warm_start =
     Arg.(value & flag & info [ "warm-start" ]
            ~doc:"Save-load-rerun roundtrip: every run first executes cold, \
@@ -366,6 +377,6 @@ let cmd =
        ~doc:"Differential fuzzing of the DBT against the Alpha interpreter")
     Term.(
       const run $ count $ seed $ minutes $ jobs $ modes $ flush_every
-      $ per_insn $ threaded $ warm_start $ json $ quiet)
+      $ per_insn $ threaded $ region $ warm_start $ json $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -44,8 +44,8 @@ let show_outcome buf = function
 
 (* Run one program; the whole report goes into [buf] so several runs can
    proceed on worker domains without interleaving their output. *)
-let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
-    n_pe comm disasm fuel save_cache load_cache =
+let run_one buf src scale isa chaining n_accs engine interp_only straight ildp
+    ooo n_pe comm disasm fuel save_cache load_cache =
   let prog = load_program src scale in
   let isa = if isa = "basic" then Core.Config.Basic else Core.Config.Modified in
   let chaining =
@@ -53,6 +53,12 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
     | "no_pred" -> Core.Config.No_pred
     | "sw_pred" -> Core.Config.Sw_pred_no_ras
     | _ -> Core.Config.Sw_pred_ras
+  in
+  let engine =
+    match engine with
+    | "matched" -> Core.Config.Matched
+    | "region" -> Core.Config.Region
+    | _ -> Core.Config.Threaded
   in
   if interp_only then begin
     let st = Alpha.Interp.create prog in
@@ -78,7 +84,7 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
       m
   end
   else begin
-    let cfg = { Core.Config.default with isa; chaining; n_accs } in
+    let cfg = { Core.Config.default with isa; chaining; n_accs; engine } in
     let kind = if straight then Core.Vm.Straight_only else Core.Vm.Acc in
     let snapshot =
       match load_cache with
@@ -117,6 +123,8 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
       (if straight then "straightened-Alpha" else "accumulator-ISA")
       (Core.Config.isa_name isa)
       (Core.Config.chaining_name chaining);
+    if engine = Core.Config.Region then
+      Printf.bprintf buf "regions        : %d live\n" (Core.Vm.region_count vm);
     Option.iter
       (fun path -> Printf.bprintf buf "warm start     : %s\n" path)
       load_cache;
@@ -171,8 +179,8 @@ let run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
       save_cache
   end
 
-let run srcs scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
-    disasm fuel jobs telemetry save_cache load_cache =
+let run srcs scale isa chaining n_accs engine interp_only straight ildp ooo
+    n_pe comm disasm fuel jobs telemetry save_cache load_cache =
   Option.iter (fun _ -> Obs.set_enabled true) telemetry;
   if (save_cache <> None || load_cache <> None) && List.length srcs > 1 then begin
     Printf.eprintf "--save-cache/--load-cache need exactly one program\n";
@@ -184,8 +192,8 @@ let run srcs scale isa chaining n_accs interp_only straight ildp ooo n_pe comm
   end;
   let report src =
     let buf = Buffer.create 1024 in
-    run_one buf src scale isa chaining n_accs interp_only straight ildp ooo
-      n_pe comm disasm fuel save_cache load_cache;
+    run_one buf src scale isa chaining n_accs engine interp_only straight ildp
+      ooo n_pe comm disasm fuel save_cache load_cache;
     Buffer.contents buf
   in
   let used_jobs = ref 1 in
@@ -234,6 +242,11 @@ let cmd =
            ~doc:"Chaining: no_pred, sw_pred or sw_pred_ras.")
   in
   let n_accs = Arg.(value & opt int 4 & info [ "accs" ] ~doc:"Logical accumulators.") in
+  let engine =
+    Arg.(value & opt string "threaded" & info [ "engine" ]
+           ~doc:"Sink-less execution engine: threaded, matched, or region \
+                 (threaded plus the hot-region tier-up compiler).")
+  in
   let interp = Arg.(value & flag & info [ "interp" ] ~doc:"Interpret only (no DBT).") in
   let straight =
     Arg.(value & flag & info [ "straight" ] ~doc:"Code-straightening-only DBT.")
@@ -269,8 +282,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ildp_run" ~doc:"Run programs under the ILDP co-designed VM")
     Term.(
-      const run $ srcs $ scale $ isa $ chaining $ n_accs $ interp $ straight
-      $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel $ jobs $ telemetry
+      const run $ srcs $ scale $ isa $ chaining $ n_accs $ engine $ interp
+      $ straight $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel $ jobs $ telemetry
       $ save_cache $ load_cache)
 
 let () = exit (Cmd.eval cmd)

@@ -62,9 +62,21 @@ type t = {
   mutable ops_gen : int; (* Tcache generation the compiled prefix shadows *)
   mutable patch_mark : int; (* patch-log entries already recompiled *)
   mutable budget : int; (* V-ISA retirement budget of the current run *)
+  (* --- region tier-up state --- *)
+  mutable rthreshold : int;
+  (* promotion threshold of the engine currently driving execution:
+     [cfg.region_threshold] while the Region trampoline runs, [max_int]
+     everywhere else so the instrumented/sink paths never promote *)
+  mutable regions : regionc list; (* live regions, for patch invalidation *)
 }
 
 and op = t -> int
+
+and regionc = {
+  rg : Region.t;
+  r_orig : op; (* the entry slot's slot-granular op, restored on
+                  invalidation and used for the entry inside the region *)
+}
 
 type exit =
   | X_reason of Exitr.reason
@@ -97,6 +109,8 @@ let create ctx interp =
     ops_gen = -1;
     patch_mark = 0;
     budget = 0;
+    rthreshold = max_int;
+    regions = [];
   }
 
 let get_g t g =
@@ -244,16 +258,211 @@ let faulted t s =
     ret_trap
   | None -> failwith "exec_acc: fault at a slot with no PEI entry"
 
+(* ---------- region tier-up (second compilation tier) ---------- *)
+
+(* Telemetry (names shared with Exec_straight, like the compile metrics
+   below: one VM only ever owns one backend). *)
+let c_region_compiles = Obs.counter "engine.region_compiles"
+let c_region_exits = Obs.counter "engine.region_exits"
+let c_region_invalidations = Obs.counter "engine.region_invalidations"
+
+let h_region_slots =
+  Obs.histogram "engine.region_slots" ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512 |]
+
+let sp_region = Obs.span "compile_region"
+
+let ctrl_of_insn : I.t -> Region.ctrl = function
+  | I.Br { target } -> Region.C_br target
+  | I.Bc { target; _ } -> Region.C_bc target
+  | I.Jmp_ind _ -> Region.C_dyn
+  | I.Ret_dras _ -> Region.C_dyn_fall
+  | I.Call_xlate _ -> Region.C_exit
+  | I.Call_xlate_cond _ -> Region.C_cond_exit
+  | _ -> Region.C_seq
+
+(* A fault at slot [s] of block [b]: the slots after [s] were charged in
+   bulk at block entry but never ran — take their statistics back and
+   refund their retirement budget. (The faulting slot's own one-credit
+   refund was already performed by [faulted] inside the op.) *)
+let unwind_region_suffix t (rg : Region.t) b s =
+  let st = t.stats in
+  let fin = rg.b_start.(b) + rg.b_len.(b) - 1 in
+  for sl = s + 1 to fin do
+    let a = Array.unsafe_get t.alphas sl in
+    st.i_exec <- st.i_exec - 1;
+    let c = Array.unsafe_get t.classes sl in
+    st.by_class.(c) <- st.by_class.(c) - 1;
+    st.alpha_retired <- st.alpha_retired - a;
+    t.budget <- t.budget + a
+  done
+
+(* Execute region [rg] from block [b0], charging statistics in bulk at
+   block entry — one budget subtraction and a handful of adds per block,
+   precomputed to equal exactly what the slot-granular trampoline would
+   have charged across the block's slots. A block only runs when the
+   remaining budget strictly covers it — bulk execution can therefore
+   never overrun a fuel stop the slot-granular engine would have taken;
+   on a short budget we return the block-start slot (budget still
+   positive) and the trampoline resumes slot-granularly. The return value
+   follows the compiled-op protocol. *)
+let run_region t (rg : Region.t) (orig : op) b0 : int =
+  let ops = t.ops in
+  let entry = rg.entry_slot in
+  let b_start = rg.b_start and b_len = rg.b_len and b_alpha = rg.b_alpha in
+  let b_cls = rg.b_cls in
+  let b_fall_slot = rg.b_fall_slot and b_fall_blk = rg.b_fall_blk in
+  let b_taken_slot = rg.b_taken_slot and b_taken_blk = rg.b_taken_blk in
+  let st = t.stats in
+  let by_class = st.by_class in
+  let rec block b =
+    let ba = Array.unsafe_get b_alpha b in
+    if t.budget <= ba then begin
+      Obs.bump c_region_exits 1;
+      Array.unsafe_get b_start b
+    end
+    else begin
+      t.budget <- t.budget - ba;
+      st.i_exec <- st.i_exec + Array.unsafe_get b_len b;
+      st.alpha_retired <- st.alpha_retired + ba;
+      let base = b * Region.n_classes in
+      for c = 0 to Region.n_classes - 1 do
+        Array.unsafe_set by_class c
+          (Array.unsafe_get by_class c + Array.unsafe_get b_cls (base + c))
+      done;
+      let s0 = Array.unsafe_get b_start b in
+      slots b s0 (s0 + Array.unsafe_get b_len b - 1)
+    end
+  and slots b s fin =
+    let op = if s = entry then orig else Array.unsafe_get ops s in
+    let n = op t in
+    if s >= fin then dispatch b n
+    else if n = s + 1 then slots b (s + 1) fin
+    else begin
+      (* mid-block ops either fall through or fault: [n] is [ret_trap] *)
+      unwind_region_suffix t rg b s;
+      Obs.bump c_region_exits 1;
+      n
+    end
+  and dispatch b n =
+    if n = Array.unsafe_get b_fall_slot b then
+      block (Array.unsafe_get b_fall_blk b)
+    else if n = Array.unsafe_get b_taken_slot b then
+      block (Array.unsafe_get b_taken_blk b)
+    else if n >= 0 then begin
+      (* dynamic transfer (DRAS return hit, predicted indirect jump):
+         continue in-region when the target is a block start *)
+      let bi = Region.blk_at rg n in
+      if bi >= 0 then block bi
+      else begin
+        Obs.bump c_region_exits 1;
+        n
+      end
+    end
+    else begin
+      Obs.bump c_region_exits 1;
+      n
+    end
+  in
+  block b0
+
+(* The closure installed at a promoted fragment's entry slot. The
+   trampoline has already charged the entry slot's statistics and budget
+   when it calls us, so bulk execution first takes that charge back; when
+   the budget cannot strictly cover even the entry block we bail to the
+   original op, keeping slot-granular semantics (and guaranteeing
+   progress: a bailed entry never re-enters the region with more fuel). *)
+let make_region_op t (rg : Region.t) (orig : op) : op =
+  let eb = rg.entry_block in
+  let e_alpha = t.alphas.(rg.entry_slot) in
+  let e_cls = t.classes.(rg.entry_slot) in
+  let entry_guard = rg.b_alpha.(eb) - e_alpha in
+  fun t ->
+    if t.budget <= entry_guard then orig t
+    else begin
+      let st = t.stats in
+      st.i_exec <- st.i_exec - 1;
+      st.by_class.(e_cls) <- st.by_class.(e_cls) - 1;
+      st.alpha_retired <- st.alpha_retired - e_alpha;
+      t.budget <- t.budget + e_alpha;
+      run_region t rg orig eb
+    end
+
+let slot_in_live_region t slot =
+  List.exists (fun rc -> Region.contains rc.rg slot) t.regions
+
+(* Promote [f]'s chain graph to a region: build the block structure,
+   install the region closure at the fragment entry, and remember it for
+   patch invalidation. Declines (for the rest of this cache generation)
+   when the entry already sits inside a live region — a region must never
+   call another region's entry closure mid-block, and the slot is already
+   region-accelerated anyway. *)
+let promote t (f : Tcache.frag) =
+  if f.region_state <> 0 then ()
+  else if slot_in_live_region t f.entry_slot then f.region_state <- 2
+  else begin
+    let tc = t.ctx.tc in
+    let built =
+      Obs.with_span sp_region (fun () ->
+          Region.build ~entry:f.entry_slot
+            ~frag_at:(fun slot ->
+              match Tcache.Acc.frag_of_entry tc slot with
+              | Some g when g.region_state <> 1 -> Some (g.n_slots, g.v_start)
+              | _ -> None)
+            ~ctrl:(fun s -> ctrl_of_insn (Tcache.Acc.get tc s))
+            ~alpha:(fun s -> t.alphas.(s))
+            ~cls:(fun s -> t.classes.(s))
+            ~max_slots:t.ctx.cfg.region_max_slots)
+    in
+    match built with
+    | None -> f.region_state <- 2
+    | Some rg ->
+      let orig = t.ops.(f.entry_slot) in
+      t.ops.(f.entry_slot) <- make_region_op t rg orig;
+      t.regions <- { rg; r_orig = orig } :: t.regions;
+      f.region_state <- 1;
+      Obs.bump c_region_compiles 1;
+      Obs.observe h_region_slots rg.total_slots
+  end
+
+(* Restore the slot-granular entry op of every region containing a patched
+   slot: a patch rewrites that slot's control shape, so the precomputed
+   block structure is stale. Promotion state returns to 0 — the fragment
+   re-promotes on its next entry with the post-patch chain graph. *)
+let invalidate_regions_at t sl =
+  match t.regions with
+  | [] -> ()
+  | regions ->
+    let stale, live =
+      List.partition (fun rc -> Region.contains rc.rg sl) regions
+    in
+    if stale <> [] then begin
+      List.iter
+        (fun rc ->
+          t.ops.(rc.rg.Region.entry_slot) <- rc.r_orig;
+          (match Tcache.Acc.frag_of_entry t.ctx.tc rc.rg.Region.entry_slot with
+          | Some f -> f.region_state <- 0
+          | None -> ());
+          Obs.bump c_region_invalidations 1)
+        stale;
+      t.regions <- live
+    end
+
+(* Single source of truth for fragment-entry accounting; region tier-up
+   promotion hangs off it. [rthreshold] is [cfg.region_threshold] only
+   while the Region engine drives the trampoline — every other path
+   (Threaded, Matched, sink-attached instrumented runs) keeps it at
+   [max_int] so promotion never fires there. *)
+let enter_fragment t (f : Tcache.frag) =
+  f.exec_count <- f.exec_count + 1;
+  t.stats.frag_enters <- t.stats.frag_enters + 1;
+  if f.exec_count >= t.rthreshold && f.region_state = 0 then promote t f
+
 (* Fragment-entry accounting for a dynamic (register-valued) transfer
    target: O(1) probe of the cache's slot-indexed entry map. *)
 let enter_dynamic t target =
   let tc = t.ctx.tc in
   let id = Tcache.Acc.frag_id_of_entry tc target in
-  if id >= 0 then begin
-    let f = Tcache.Acc.frag_by_id tc id in
-    f.exec_count <- f.exec_count + 1;
-    t.stats.frag_enters <- t.stats.frag_enters + 1
-  end
+  if id >= 0 then enter_fragment t (Tcache.Acc.frag_by_id tc id)
 
 (* Dynamic transfer targets are validated here so the trampoline's
    unchecked [ops] indexing stays safe; static targets are validated at
@@ -529,9 +738,8 @@ let compile t s : op =
       (* entry status is static: resolve the fragment at compile time *)
       match Tcache.Acc.frag_of_entry tc target with
       | Some f ->
-        fun _ ->
-          f.exec_count <- f.exec_count + 1;
-          st.frag_enters <- st.frag_enters + 1;
+        fun t ->
+          enter_fragment t f;
           target
       | None -> fun _ -> target)
     | I.Bc { cond; v; target } -> (
@@ -539,19 +747,17 @@ let compile t s : op =
       let c = Alpha.Insn.cond_fn cond in
       match (Tcache.Acc.frag_of_entry tc target, src_loc t v) with
       | Some f, L_arr (x, i) ->
-        fun _ ->
+        fun t ->
           if c (Array.unsafe_get x i) then begin
-            f.exec_count <- f.exec_count + 1;
-            st.frag_enters <- st.frag_enters + 1;
+            enter_fragment t f;
             target
           end
           else next
       | Some f, L_const cv ->
         let tk = c cv in
-        fun _ ->
+        fun t ->
           if tk then begin
-            f.exec_count <- f.exec_count + 1;
-            st.frag_enters <- st.frag_enters + 1;
+            enter_fragment t f;
             target
           end
           else next
@@ -647,7 +853,9 @@ let sync_ops t =
     t.ops <- [||];
     t.ops_len <- 0;
     t.patch_mark <- 0;
-    t.ops_gen <- gen
+    t.ops_gen <- gen;
+    (* the compiled prefix the regions indexed into is gone wholesale *)
+    t.regions <- []
   end;
   let n = Tcache.Acc.n_slots tc in
   if n > Array.length t.ops then begin
@@ -675,6 +883,12 @@ let sync_ops t =
           Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl)
         done;
         t.ops_len <- n;
+        (* a patch rewrites a slot's control shape: drop any region whose
+           block structure covered it before recompiling, so a region
+           entry op is never overwritten by a stale original *)
+        for i = t.patch_mark to m - 1 do
+          invalidate_regions_at t (Tcache.Acc.patched_slot tc i)
+        done;
         for i = t.patch_mark to m - 1 do
           let sl = Tcache.Acc.patched_slot tc i in
           if sl < n then begin
@@ -685,8 +899,22 @@ let sync_ops t =
         t.patch_mark <- m)
 
 (* Warm start: pay closure compilation for every restored cache slot up
-   front instead of on the first [run] after a snapshot load. *)
-let prewarm t = sync_ops t
+   front instead of on the first [run] after a snapshot load.
+   [hot_entries] (fragment entry slots, hottest first) feeds the
+   snapshot's hotness profile into region tier-up: the loader passes
+   every fragment whose persisted [exec_count] crossed the region
+   threshold, so known-hot loops run region-compiled from the first warm
+   instruction. *)
+let prewarm ?(hot_entries = []) t =
+  sync_ops t;
+  List.iter
+    (fun slot ->
+      match Tcache.Acc.frag_of_entry t.ctx.tc slot with
+      | Some f -> promote t f
+      | None -> ())
+    hot_entries
+
+let region_count t = List.length t.regions
 
 (* Threaded-code trampoline. Statistics and the budget decrement happen
    here, before the op runs (the fault path refunds the faulting
@@ -694,6 +922,10 @@ let prewarm t = sync_ops t
    engine's ordering: an exit taken on the very slot that exhausts the
    budget wins over [X_fuel]. *)
 let run_threaded ?(fuel = max_int) t ~entry : exit =
+  t.rthreshold <-
+    (match t.ctx.cfg.engine with
+    | Config.Region -> t.ctx.cfg.region_threshold
+    | Config.Threaded | Config.Matched -> max_int);
   sync_ops t;
   if entry < 0 || entry >= t.ops_len then
     invalid_arg "exec_acc: entry is not a translated slot";
@@ -723,10 +955,10 @@ let run_threaded ?(fuel = max_int) t ~entry : exit =
 let run_instrumented ?sink ?(fuel = max_int) t ~entry : exit =
   let tc = t.ctx.tc in
   let budget = ref fuel in
+  (* sink-attached runs must stay slot-granular: no region promotion *)
+  t.rthreshold <- max_int;
   (match Tcache.Acc.frag_of_entry tc entry with
-  | Some f ->
-    f.exec_count <- f.exec_count + 1;
-    t.stats.frag_enters <- t.stats.frag_enters + 1
+  | Some f -> enter_fragment t f
   | None -> ());
   let slot = ref entry in
   let result = ref None in
@@ -816,9 +1048,7 @@ let run_instrumented ?sink ?(fuel = max_int) t ~entry : exit =
        (* fragment-entry accounting for chained transfers *)
        if !taken && running () then begin
          match Tcache.Acc.frag_of_entry tc !next with
-         | Some f ->
-           f.exec_count <- f.exec_count + 1;
-           t.stats.frag_enters <- t.stats.frag_enters + 1
+         | Some f -> enter_fragment t f
          | None -> ()
        end
      with
@@ -864,5 +1094,5 @@ let run ?sink ?(fuel = max_int) t ~entry : exit =
   | Some _ -> run_instrumented ?sink ~fuel t ~entry
   | None -> (
     match t.ctx.cfg.engine with
-    | Config.Threaded -> run_threaded ~fuel t ~entry
+    | Config.Threaded | Config.Region -> run_threaded ~fuel t ~entry
     | Config.Matched -> run_instrumented ~fuel t ~entry)

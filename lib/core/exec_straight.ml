@@ -37,9 +37,14 @@ type t = {
   mutable ops_gen : int;
   mutable patch_mark : int;
   mutable budget : int;
+  (* --- region tier-up state (see Exec_acc) --- *)
+  mutable rthreshold : int;
+  mutable regions : regionc list;
 }
 
 and op = t -> int
+
+and regionc = { rg : Region.t; r_orig : op }
 
 type exit =
   | X_reason of Exitr.reason
@@ -69,6 +74,8 @@ let create ctx interp =
     ops_gen = -1;
     patch_mark = 0;
     budget = 0;
+    rthreshold = max_int;
+    regions = [];
   }
 
 (* Dynamic dispatch-miss target lives in GP by convention. *)
@@ -131,14 +138,179 @@ let faulted t s =
     ret_trap
   | None -> failwith "exec_straight: fault at a slot with no PEI entry"
 
+(* ---------- region tier-up (second compilation tier) ---------- *)
+
+(* Telemetry: same names as Exec_acc (one VM owns one backend kind). *)
+let c_region_compiles = Obs.counter "engine.region_compiles"
+let c_region_exits = Obs.counter "engine.region_exits"
+let c_region_invalidations = Obs.counter "engine.region_invalidations"
+
+let h_region_slots =
+  Obs.histogram "engine.region_slots" ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512 |]
+
+let sp_region = Obs.span "compile_region"
+
+let ctrl_of_insn : A.t -> Region.ctrl = function
+  | A.Br (_, target) -> Region.C_br target
+  | A.Bc (_, _, target) -> Region.C_bc target
+  | A.Jump _ -> Region.C_dyn
+  | A.Ret_dras _ -> Region.C_dyn_fall
+  | A.Call_xlate _ -> Region.C_exit
+  | A.Call_xlate_cond _ -> Region.C_cond_exit
+  | A.Bsr _ | A.Call_pal _ -> Region.C_exit
+  | _ -> Region.C_seq
+
+(* Bulk accounting, fault unwind, the region runner, promotion and
+   invalidation mirror Exec_acc — see the comments there. *)
+let unwind_region_suffix t (rg : Region.t) b s =
+  let st = t.stats in
+  let fin = rg.b_start.(b) + rg.b_len.(b) - 1 in
+  for sl = s + 1 to fin do
+    let a = Array.unsafe_get t.alphas sl in
+    st.i_exec <- st.i_exec - 1;
+    let c = Array.unsafe_get t.classes sl in
+    st.by_class.(c) <- st.by_class.(c) - 1;
+    st.alpha_retired <- st.alpha_retired - a;
+    t.budget <- t.budget + a
+  done
+
+let run_region t (rg : Region.t) (orig : op) b0 : int =
+  let ops = t.ops in
+  let entry = rg.entry_slot in
+  let b_start = rg.b_start and b_len = rg.b_len and b_alpha = rg.b_alpha in
+  let b_cls = rg.b_cls in
+  let b_fall_slot = rg.b_fall_slot and b_fall_blk = rg.b_fall_blk in
+  let b_taken_slot = rg.b_taken_slot and b_taken_blk = rg.b_taken_blk in
+  let st = t.stats in
+  let by_class = st.by_class in
+  let rec block b =
+    let ba = Array.unsafe_get b_alpha b in
+    if t.budget <= ba then begin
+      Obs.bump c_region_exits 1;
+      Array.unsafe_get b_start b
+    end
+    else begin
+      t.budget <- t.budget - ba;
+      st.i_exec <- st.i_exec + Array.unsafe_get b_len b;
+      st.alpha_retired <- st.alpha_retired + ba;
+      let base = b * Region.n_classes in
+      for c = 0 to Region.n_classes - 1 do
+        Array.unsafe_set by_class c
+          (Array.unsafe_get by_class c + Array.unsafe_get b_cls (base + c))
+      done;
+      let s0 = Array.unsafe_get b_start b in
+      slots b s0 (s0 + Array.unsafe_get b_len b - 1)
+    end
+  and slots b s fin =
+    let op = if s = entry then orig else Array.unsafe_get ops s in
+    let n = op t in
+    if s >= fin then dispatch b n
+    else if n = s + 1 then slots b (s + 1) fin
+    else begin
+      unwind_region_suffix t rg b s;
+      Obs.bump c_region_exits 1;
+      n
+    end
+  and dispatch b n =
+    if n = Array.unsafe_get b_fall_slot b then
+      block (Array.unsafe_get b_fall_blk b)
+    else if n = Array.unsafe_get b_taken_slot b then
+      block (Array.unsafe_get b_taken_blk b)
+    else if n >= 0 then begin
+      (* dynamic transfer (DRAS return hit, predicted indirect jump):
+         continue in-region when the target is a block start *)
+      let bi = Region.blk_at rg n in
+      if bi >= 0 then block bi
+      else begin
+        Obs.bump c_region_exits 1;
+        n
+      end
+    end
+    else begin
+      Obs.bump c_region_exits 1;
+      n
+    end
+  in
+  block b0
+
+let make_region_op t (rg : Region.t) (orig : op) : op =
+  let eb = rg.entry_block in
+  let e_alpha = t.alphas.(rg.entry_slot) in
+  let e_cls = t.classes.(rg.entry_slot) in
+  let entry_guard = rg.b_alpha.(eb) - e_alpha in
+  fun t ->
+    if t.budget <= entry_guard then orig t
+    else begin
+      let st = t.stats in
+      st.i_exec <- st.i_exec - 1;
+      st.by_class.(e_cls) <- st.by_class.(e_cls) - 1;
+      st.alpha_retired <- st.alpha_retired - e_alpha;
+      t.budget <- t.budget + e_alpha;
+      run_region t rg orig eb
+    end
+
+let slot_in_live_region t slot =
+  List.exists (fun rc -> Region.contains rc.rg slot) t.regions
+
+let promote t (f : Tcache.frag) =
+  if f.region_state <> 0 then ()
+  else if slot_in_live_region t f.entry_slot then f.region_state <- 2
+  else begin
+    let tc = t.ctx.tc in
+    let built =
+      Obs.with_span sp_region (fun () ->
+          Region.build ~entry:f.entry_slot
+            ~frag_at:(fun slot ->
+              match Tcache.Straight.frag_of_entry tc slot with
+              | Some g when g.region_state <> 1 -> Some (g.n_slots, g.v_start)
+              | _ -> None)
+            ~ctrl:(fun s -> ctrl_of_insn (Tcache.Straight.get tc s))
+            ~alpha:(fun s -> t.alphas.(s))
+            ~cls:(fun s -> t.classes.(s))
+            ~max_slots:t.ctx.cfg.region_max_slots)
+    in
+    match built with
+    | None -> f.region_state <- 2
+    | Some rg ->
+      let orig = t.ops.(f.entry_slot) in
+      t.ops.(f.entry_slot) <- make_region_op t rg orig;
+      t.regions <- { rg; r_orig = orig } :: t.regions;
+      f.region_state <- 1;
+      Obs.bump c_region_compiles 1;
+      Obs.observe h_region_slots rg.total_slots
+  end
+
+let invalidate_regions_at t sl =
+  match t.regions with
+  | [] -> ()
+  | regions ->
+    let stale, live =
+      List.partition (fun rc -> Region.contains rc.rg sl) regions
+    in
+    if stale <> [] then begin
+      List.iter
+        (fun rc ->
+          t.ops.(rc.rg.Region.entry_slot) <- rc.r_orig;
+          (match
+             Tcache.Straight.frag_of_entry t.ctx.tc rc.rg.Region.entry_slot
+           with
+          | Some f -> f.region_state <- 0
+          | None -> ());
+          Obs.bump c_region_invalidations 1)
+        stale;
+      t.regions <- live
+    end
+
+(* Single source of truth for fragment-entry accounting (see Exec_acc). *)
+let enter_fragment t (f : Tcache.frag) =
+  f.exec_count <- f.exec_count + 1;
+  t.stats.frag_enters <- t.stats.frag_enters + 1;
+  if f.exec_count >= t.rthreshold && f.region_state = 0 then promote t f
+
 let enter_dynamic t target =
   let tc = t.ctx.tc in
   let id = Tcache.Straight.frag_id_of_entry tc target in
-  if id >= 0 then begin
-    let f = Tcache.Straight.frag_by_id tc id in
-    f.exec_count <- f.exec_count + 1;
-    t.stats.frag_enters <- t.stats.frag_enters + 1
-  end
+  if id >= 0 then enter_fragment t (Tcache.Straight.frag_by_id tc id)
 
 let check_slot t n =
   if n < 0 || n >= t.ops_len then
@@ -308,9 +480,8 @@ let compile t s : op =
       check_static t ~slot:s target;
       match Tcache.Straight.frag_of_entry tc target with
       | Some f ->
-        fun _ ->
-          f.exec_count <- f.exec_count + 1;
-          st.frag_enters <- st.frag_enters + 1;
+        fun t ->
+          enter_fragment t f;
           target
       | None -> fun _ -> target)
     | A.Bc (c, ra, target) -> (
@@ -318,19 +489,17 @@ let compile t s : op =
       let cf = Alpha.Insn.cond_fn c in
       match (Tcache.Straight.frag_of_entry tc target, reg_loc ra) with
       | Some f, L_reg ia ->
-        fun _ ->
+        fun t ->
           if cf (Array.unsafe_get regs ia) then begin
-            f.exec_count <- f.exec_count + 1;
-            st.frag_enters <- st.frag_enters + 1;
+            enter_fragment t f;
             target
           end
           else next
       | Some f, L_const cv ->
         let tk = cf cv in
-        fun _ ->
+        fun t ->
           if tk then begin
-            f.exec_count <- f.exec_count + 1;
-            st.frag_enters <- st.frag_enters + 1;
+            enter_fragment t f;
             target
           end
           else next
@@ -409,7 +578,9 @@ let sync_ops t =
     t.ops <- [||];
     t.ops_len <- 0;
     t.patch_mark <- 0;
-    t.ops_gen <- gen
+    t.ops_gen <- gen;
+    (* the compiled prefix the regions indexed into is gone wholesale *)
+    t.regions <- []
   end;
   let n = Tcache.Straight.n_slots tc in
   if n > Array.length t.ops then begin
@@ -436,6 +607,10 @@ let sync_ops t =
           Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl)
         done;
         t.ops_len <- n;
+        (* drop regions covering a patched slot before recompiling it *)
+        for i = t.patch_mark to m - 1 do
+          invalidate_regions_at t (Tcache.Straight.patched_slot tc i)
+        done;
         for i = t.patch_mark to m - 1 do
           let sl = Tcache.Straight.patched_slot tc i in
           if sl < n then begin
@@ -446,10 +621,25 @@ let sync_ops t =
         t.patch_mark <- m)
 
 (* Warm start: pay closure compilation for every restored cache slot up
-   front instead of on the first [run] after a snapshot load. *)
-let prewarm t = sync_ops t
+   front instead of on the first [run] after a snapshot load.
+   [hot_entries] feeds the snapshot's hotness profile into region
+   tier-up (see Exec_acc). *)
+let prewarm ?(hot_entries = []) t =
+  sync_ops t;
+  List.iter
+    (fun slot ->
+      match Tcache.Straight.frag_of_entry t.ctx.tc slot with
+      | Some f -> promote t f
+      | None -> ())
+    hot_entries
+
+let region_count t = List.length t.regions
 
 let run_threaded ?(fuel = max_int) t ~entry : exit =
+  t.rthreshold <-
+    (match t.ctx.cfg.engine with
+    | Config.Region -> t.ctx.cfg.region_threshold
+    | Config.Threaded | Config.Matched -> max_int);
   sync_ops t;
   if entry < 0 || entry >= t.ops_len then
     invalid_arg "exec_straight: entry is not a translated slot";
@@ -480,10 +670,10 @@ let run_instrumented ?sink ?(fuel = max_int) t ~entry : exit =
   let set r v = Alpha.Interp.set t.interp r v in
   let mem = t.interp.mem in
   let budget = ref fuel in
+  (* sink-attached runs must stay slot-granular: no region promotion *)
+  t.rthreshold <- max_int;
   (match Tcache.Straight.frag_of_entry tc entry with
-  | Some f ->
-    f.exec_count <- f.exec_count + 1;
-    t.stats.frag_enters <- t.stats.frag_enters + 1
+  | Some f -> enter_fragment t f
   | None -> ());
   let slot = ref entry in
   let result = ref None in
@@ -575,9 +765,7 @@ let run_instrumented ?sink ?(fuel = max_int) t ~entry : exit =
          failwith "exec_straight: untranslatable instruction in cache");
        if !taken && running () then begin
          match Tcache.Straight.frag_of_entry tc !next with
-         | Some f ->
-           f.exec_count <- f.exec_count + 1;
-           t.stats.frag_enters <- t.stats.frag_enters + 1
+         | Some f -> enter_fragment t f
          | None -> ()
        end
      with
@@ -618,5 +806,5 @@ let run ?sink ?(fuel = max_int) t ~entry : exit =
   | Some _ -> run_instrumented ?sink ~fuel t ~entry
   | None -> (
     match t.ctx.cfg.engine with
-    | Config.Threaded -> run_threaded ~fuel t ~entry
+    | Config.Threaded | Config.Region -> run_threaded ~fuel t ~entry
     | Config.Matched -> run_instrumented ~fuel t ~entry)

@@ -1,0 +1,224 @@
+(* Region selection and block partition for the tier-up compiler.
+
+   A region is the statically-chained neighborhood of one hot fragment:
+   starting from the fragment whose [exec_count] crossed
+   [Config.region_threshold], we walk unconditional and conditional
+   branch targets that land on other fragment entries (patched chain
+   branches are plain [Br] by the time we see them, so chain-resolved
+   successors come for free) and gather every reached fragment, bounded
+   by [region_max_slots] total cache slots and a fixed guest-address
+   window around the seed — the libriscv loop-offset rule, which keeps a
+   region a loop nest rather than an arbitrary program slice.
+
+   The gathered slot ranges are partitioned into basic blocks (leaders:
+   fragment entries, in-region branch targets, and fall-throughs of
+   control slots; a block ends at its first control slot). For each
+   block we precompute the total V-ISA retirement and per-class
+   instruction tallies so the engines can charge statistics in bulk per
+   block execution instead of per slot, plus the resolved in-region
+   fall-through/taken successor blocks so transfers between blocks skip
+   the trampoline entirely.
+
+   This module is engine-independent: the engines describe their cache
+   through callbacks and keep the actual closure execution to
+   themselves. *)
+
+(* Control shape of one cache slot, as seen by region formation. *)
+type ctrl =
+  | C_seq (* ordinary slot: executes and falls through *)
+  | C_br of int (* unconditional branch to a static slot *)
+  | C_bc of int (* conditional branch: taken -> slot, else fall through *)
+  | C_dyn (* register-indirect transfer: target known only at run time *)
+  | C_dyn_fall (* dynamic transfer on hit, fall-through on miss (Ret_dras) *)
+  | C_exit (* always leaves translated code (Call_xlate, PAL) *)
+  | C_cond_exit (* leaves translated code when taken, else falls through *)
+
+let n_classes = 4 (* Translate.slot_class arity, mirrored in engine stats *)
+
+(* Guest-address distance (bytes) a successor fragment may sit from the
+   seed fragment and still join its region. *)
+let v_span_limit = 4096
+
+(* [min_int] marks "no in-region successor on this edge": the engines
+   compare it against slot indices (>= 0) and engine exit codes (small
+   negatives), neither of which can collide. *)
+let no_slot = min_int
+
+type t = {
+  entry_slot : int;
+  entry_block : int;
+  members : (int * int) array; (* sorted, disjoint (start, len) ranges *)
+  total_slots : int;
+  n_frags : int;
+  b_start : int array;
+  b_len : int array;
+  b_alpha : int array; (* per-block V-ISA retirement total *)
+  b_cls : int array; (* n_blocks * n_classes, flattened per-class counts *)
+  b_fall_slot : int array; (* fall-through slot if it is an in-region
+                              block start, else [no_slot] *)
+  b_fall_blk : int array;
+  b_taken_slot : int array; (* static taken-target slot likewise *)
+  b_taken_blk : int array;
+}
+
+(* Index of the block whose start slot is exactly [slot], or -1. [b_start]
+   is strictly increasing (members are sorted and disjoint, blocks emitted
+   in order), so dynamic transfers — DRAS return hits, predicted indirect
+   jumps — resolve to an in-region continuation in O(log blocks). *)
+let blk_at t slot =
+  let b_start = t.b_start in
+  let lo = ref 0 and hi = ref (Array.length b_start - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = Array.unsafe_get b_start mid in
+    if v = slot then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if v < slot then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let contains t slot =
+  let n = Array.length t.members in
+  let rec go i =
+    if i >= n then false
+    else
+      let st, len = t.members.(i) in
+      (slot >= st && slot < st + len) || go (i + 1)
+  in
+  go 0
+
+(* [frag_at slot] describes the fragment whose entry is [slot] as
+   [(n_slots, v_start)], or [None] if [slot] is not a promotable
+   fragment entry (not an entry at all, or one that already carries its
+   own region closure — a region must never call another region's entry
+   closure mid-block). *)
+let build ~entry ~frag_at ~(ctrl : int -> ctrl) ~(alpha : int -> int)
+    ~(cls : int -> int) ~max_slots : t option =
+  match frag_at entry with
+  | None -> None
+  | Some (n0, _) when n0 <= 0 || n0 > max_slots -> None
+  | Some (n0, v0) ->
+    (* breadth-first gather over static chain successors *)
+    let members = ref [ (entry, n0) ] in
+    let total = ref n0 in
+    let in_members s =
+      List.exists (fun (st, len) -> s >= st && s < st + len) !members
+    in
+    let queue = Queue.create () in
+    Queue.add (entry, n0) queue;
+    while not (Queue.is_empty queue) do
+      let s0, len = Queue.pop queue in
+      for s = s0 to s0 + len - 1 do
+        let tgt = match ctrl s with C_br x | C_bc x -> x | _ -> -1 in
+        if tgt >= 0 && not (in_members tgt) then
+          match frag_at tgt with
+          | Some (n, v)
+            when n > 0 && !total + n <= max_slots
+                 && abs (v - v0) <= v_span_limit ->
+            members := (tgt, n) :: !members;
+            total := !total + n;
+            Queue.add (tgt, n) queue
+          | _ -> ()
+      done
+    done;
+    let members = Array.of_list (List.sort compare !members) in
+    let n_frags = Array.length members in
+    let in_region s =
+      let rec go i =
+        if i >= n_frags then false
+        else
+          let st, len = members.(i) in
+          (s >= st && s < st + len) || go (i + 1)
+      in
+      go 0
+    in
+    (* block leaders *)
+    let leader = Hashtbl.create 64 in
+    Array.iter
+      (fun (st, len) ->
+        Hashtbl.replace leader st ();
+        for s = st to st + len - 1 do
+          match ctrl s with
+          | C_seq -> ()
+          | C_br x | C_bc x ->
+            if in_region x then Hashtbl.replace leader x ();
+            if in_region (s + 1) then Hashtbl.replace leader (s + 1) ()
+          | C_dyn | C_dyn_fall | C_exit | C_cond_exit ->
+            if in_region (s + 1) then Hashtbl.replace leader (s + 1) ()
+        done)
+      members;
+    (* partition each member range into blocks *)
+    let rev_starts = ref [] and rev_ends = ref [] in
+    Array.iter
+      (fun (st, len) ->
+        let fin = st + len - 1 in
+        let s = ref st in
+        while !s <= fin do
+          let b0 = !s in
+          let e = ref b0 in
+          while
+            !e < fin && ctrl !e = C_seq && not (Hashtbl.mem leader (!e + 1))
+          do
+            incr e
+          done;
+          rev_starts := b0 :: !rev_starts;
+          rev_ends := !e :: !rev_ends;
+          s := !e + 1
+        done)
+      members;
+    let b_start = Array.of_list (List.rev !rev_starts) in
+    let ends = Array.of_list (List.rev !rev_ends) in
+    let n_blocks = Array.length b_start in
+    let blk_of = Hashtbl.create 64 in
+    Array.iteri (fun i s -> Hashtbl.replace blk_of s i) b_start;
+    let b_len = Array.init n_blocks (fun i -> ends.(i) - b_start.(i) + 1) in
+    let b_alpha = Array.make n_blocks 0 in
+    let b_cls = Array.make (n_blocks * n_classes) 0 in
+    let b_fall_slot = Array.make n_blocks no_slot in
+    let b_fall_blk = Array.make n_blocks (-1) in
+    let b_taken_slot = Array.make n_blocks no_slot in
+    let b_taken_blk = Array.make n_blocks (-1) in
+    for b = 0 to n_blocks - 1 do
+      let s0 = b_start.(b) and fin = ends.(b) in
+      for s = s0 to fin do
+        b_alpha.(b) <- b_alpha.(b) + alpha s;
+        let c = cls s in
+        b_cls.((b * n_classes) + c) <- b_cls.((b * n_classes) + c) + 1
+      done;
+      let fall, taken =
+        match ctrl fin with
+        | C_seq | C_dyn_fall | C_cond_exit -> (fin + 1, no_slot)
+        | C_br x -> (no_slot, x)
+        | C_bc x -> (fin + 1, x)
+        | C_dyn | C_exit -> (no_slot, no_slot)
+      in
+      (match Hashtbl.find_opt blk_of fall with
+      | Some i ->
+        b_fall_slot.(b) <- fall;
+        b_fall_blk.(b) <- i
+      | None -> ());
+      match Hashtbl.find_opt blk_of taken with
+      | Some i ->
+        b_taken_slot.(b) <- taken;
+        b_taken_blk.(b) <- i
+      | None -> ()
+    done;
+    Some
+      {
+        entry_slot = entry;
+        entry_block = Hashtbl.find blk_of entry;
+        members;
+        total_slots = !total;
+        n_frags;
+        b_start;
+        b_len;
+        b_alpha;
+        b_cls;
+        b_fall_slot;
+        b_fall_blk;
+        b_taken_slot;
+        b_taken_blk;
+      }

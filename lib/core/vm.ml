@@ -325,6 +325,11 @@ let acc_exec t =
 let straight_exec t =
   match t.backend with B_straight (_, ex) -> Some ex | B_acc _ -> None
 
+let region_count t =
+  match t.backend with
+  | B_acc (_, ex) -> Exec_acc.region_count ex
+  | B_straight (_, ex) -> Exec_straight.region_count ex
+
 let acc_ctx t =
   match t.backend with B_acc (ctx, _) -> Some ctx | B_straight _ -> None
 
@@ -467,7 +472,7 @@ let conv_frag (f : Tcache.frag) : Persist.Snapshot.frag =
 let unconv_frag (f : Persist.Snapshot.frag) : Tcache.frag =
   { id = f.f_id; entry_slot = f.f_entry_slot; v_start = f.f_v_start;
     n_slots = f.f_n_slots; v_insns = f.f_v_insns; v_bytes = f.f_v_bytes;
-    i_bytes = f.f_i_bytes; exec_count = 0;
+    i_bytes = f.f_i_bytes; exec_count = 0; region_state = 0;
     cat_count = Array.copy f.f_cat_count }
 
 let conv_exit : Exitr.reason -> Persist.Snapshot.exit_reason = function
@@ -602,6 +607,22 @@ let reinstall_dispatch t (c : _ Persist.Snapshot.cache) ~prewarm_top =
   done;
   n
 
+(* Under the Region engine, a warm start promotes from the snapshot's
+   hotness profile: every fragment whose persisted execution count crossed
+   the region threshold is region-compiled at load time (hottest first, so
+   overlap resolution favors the hottest loops) — the restored live
+   [exec_count] stays 0 as always. *)
+let hot_region_entries t (c : _ Persist.Snapshot.cache) =
+  if t.cfg.engine <> Config.Region then []
+  else
+    Array.to_list c.frags
+    |> List.filter (fun (f : Persist.Snapshot.frag) ->
+           f.f_exec_count >= t.cfg.region_threshold)
+    |> List.sort
+         (fun (a : Persist.Snapshot.frag) (b : Persist.Snapshot.frag) ->
+           compare (b.f_exec_count, a.f_id) (a.f_exec_count, b.f_id))
+    |> List.map (fun (f : Persist.Snapshot.frag) -> f.f_entry_slot)
+
 let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
   let want = fingerprint t in
   (match Persist.Snapshot.fingerprint_mismatches ~got:snap.fingerprint ~want with
@@ -620,7 +641,11 @@ let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
       Hashtbl.reset ctx.unique_vpcs;
       Array.iter (fun v -> Hashtbl.replace ctx.unique_vpcs v ()) c.unique_vpcs;
       let n = reinstall_dispatch t c ~prewarm_top in
-      if t.cfg.engine = Config.Threaded then Exec_acc.prewarm ex;
+      (match t.cfg.engine with
+      | Config.Threaded -> Exec_acc.prewarm ex
+      | Config.Region ->
+        Exec_acc.prewarm ~hot_entries:(hot_region_entries t c) ex
+      | Config.Matched -> ());
       (n, Array.length c.slots)
     | B_straight (ctx, ex), Persist.Snapshot.B_straight c ->
       check_cache c;
@@ -633,7 +658,11 @@ let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
       Hashtbl.reset ctx.unique_vpcs;
       Array.iter (fun v -> Hashtbl.replace ctx.unique_vpcs v ()) c.unique_vpcs;
       let n = reinstall_dispatch t c ~prewarm_top in
-      if t.cfg.engine = Config.Threaded then Exec_straight.prewarm ex;
+      (match t.cfg.engine with
+      | Config.Threaded -> Exec_straight.prewarm ex
+      | Config.Region ->
+        Exec_straight.prewarm ~hot_entries:(hot_region_entries t c) ex
+      | Config.Matched -> ());
       (n, Array.length c.slots)
     | _ ->
       (* unreachable through [fingerprint_mismatches] unless the file was

@@ -96,6 +96,61 @@ let check_exec ~tol doc (rows : Throughput.row list) =
         (100.0 *. tol) base_gm);
   { ok = !ok; lines = List.rev !lines }
 
+(* ---- region tier-up bench ---- *)
+
+(* Same shape as the exec-bench gate, for BENCH_region.json: re-runs the
+   three-way region sweep, demands every workload still verify (region vs
+   instrumented engines byte-identical in all statistics), and gates the
+   geomean region/matched speedup against the baseline. The
+   region-vs-threaded ratio is reported but not gated: on short workloads
+   it sits near 1.0 and its jitter would make the gate flaky. *)
+let check_region ~tol doc (rows : Throughput.region_row list) =
+  let ok = ref true and lines = ref [] in
+  (match parse_exec_baseline doc with
+  | None -> failf ok lines "baseline: malformed region-bench document"
+  | Some (base, base_gm) ->
+    List.iter
+      (fun b ->
+        match
+          List.find_opt
+            (fun (r : Throughput.region_row) -> r.rr_name = b.b_name)
+            rows
+        with
+        | None ->
+          failf ok lines "%s: in baseline but not in current sweep" b.b_name
+        | Some r ->
+          if r.rr_mismatches <> [] then
+            failf ok lines "%s: region engine diverged: %s" b.b_name
+              (String.concat "; " r.rr_mismatches)
+          else begin
+            let s = Throughput.region_speedup r in
+            if b.b_speedup > 0.0 && Float.abs (s /. b.b_speedup -. 1.0) > tol
+            then
+              notef lines "%s: speedup %.2fx vs baseline %.2fx (>±%.0f%%)"
+                b.b_name s b.b_speedup (100.0 *. tol)
+          end;
+          if not b.b_verified then
+            failf ok lines "%s: baseline itself is marked unverified" b.b_name)
+      base;
+    List.iter
+      (fun (r : Throughput.region_row) ->
+        if not (List.exists (fun b -> b.b_name = r.rr_name) base) then
+          notef lines "%s: new workload, absent from baseline" r.rr_name)
+      rows;
+    let gm = Runner.geomean (List.map Throughput.region_speedup rows) in
+    if base_gm > 0.0 && gm < base_gm *. (1.0 -. tol) then
+      failf ok lines "geomean region speedup regressed: %.3fx < %.3fx - %.0f%%"
+        gm base_gm (100.0 *. tol)
+    else if base_gm > 0.0 && gm > base_gm *. (1.0 +. tol) then
+      notef lines
+        "geomean region speedup %.3fx exceeds baseline %.3fx + %.0f%%; \
+         consider refreshing the baseline"
+        gm base_gm (100.0 *. tol)
+    else
+      okf lines "geomean region speedup %.3fx within ±%.0f%% of baseline %.3fx"
+        gm (100.0 *. tol) base_gm);
+  { ok = !ok; lines = List.rev !lines }
+
 (* ---- harness bench ---- *)
 
 let check_harness doc ~ids =
@@ -157,6 +212,12 @@ let check_persist doc =
           failf ok lines "%s: translation-phase reduction %.3f not positive"
             name r
         | None -> failf ok lines "%s: missing \"translate_reduction\" field" name);
+        (* region warm-start verification; absent in pre-region baselines *)
+        (match Option.bind (J.member "region_verified" row) J.to_bool with
+        | Some false ->
+          failf ok lines
+            "%s: baseline region warm start marked unverified" name
+        | Some true | None -> ());
         match Option.bind (J.member "fingerprint" row) (J.member "image_digest") with
         | Some _ -> ()
         | None -> failf ok lines "%s: missing fingerprint.image_digest" name)
@@ -170,15 +231,17 @@ let check_persist doc =
 
 let prefixed p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
-(* Runs the appropriate check for [path]. [sweep] produces the current
-   throughput rows on demand (only the exec-bench branch pays for it);
-   [ids] is the current experiment registry. *)
-let run ~tol ~ids ~sweep path =
+(* Runs the appropriate check for [path]. [sweep] / [region_sweep] produce
+   the current throughput rows on demand (only the matching branch pays
+   for its sweep); [ids] is the current experiment registry. *)
+let run ~tol ~ids ~sweep ~region_sweep path =
   match Obs.Json.parse_file path with
   | Error e -> { ok = false; lines = [ Printf.sprintf "FAIL %s: %s" path e ] }
   | Ok doc -> (
     match Obs.Envelope.schema_of doc with
     | Some s when prefixed "ildp-dbt-exec-bench/" s -> check_exec ~tol doc (sweep ())
+    | Some s when prefixed "ildp-dbt-region/" s ->
+      check_region ~tol doc (region_sweep ())
     | Some s when prefixed "ildp-dbt-bench/" s -> check_harness doc ~ids
     | Some s when prefixed "ildp-dbt-persist/" s -> check_persist doc
     | Some s -> { ok = false; lines = [ Printf.sprintf "FAIL unknown schema %S" s ] }

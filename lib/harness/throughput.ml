@@ -202,3 +202,98 @@ let to_json ~jobs ~scale ~fuel ~repeats rows jobs_rows =
 
 let write_json path ~jobs ~scale ~fuel ~repeats rows jobs_rows =
   Obs.Json.write_file path (to_json ~jobs ~scale ~fuel ~repeats rows jobs_rows)
+
+(* ---------- region tier-up sweep ---------- *)
+
+(* Three-way sweep for the region tier-up engine: each workload runs under
+   the instrumented, threaded, and region engines. The region run must be
+   observationally identical to the instrumented one ([verify], all
+   statistics), and its headline is the same whole-VM MIPS metric plus the
+   speedup over both other engines — the tier-up claim is precisely that
+   region beats threaded on loop-dominated workloads while staying exact. *)
+
+type region_row = {
+  rr_name : string;
+  rr_matched : run_result;
+  rr_threaded : run_result;
+  rr_region : run_result;
+  rr_mismatches : string list; (* region vs matched *)
+}
+
+let region_speedup r = mips r.rr_region /. mips r.rr_matched
+let region_vs_threaded r = mips r.rr_region /. mips r.rr_threaded
+
+let region_sweep ?(scale = 1) ?(fuel = default_fuel) ?(repeats = 3) () =
+  List.map
+    (fun (w : Workloads.t) ->
+      let matched =
+        best ~repeats (fun () ->
+            run_once ~engine:Core.Config.Matched ~scale ~fuel w)
+      in
+      let threaded =
+        best ~repeats (fun () ->
+            run_once ~engine:Core.Config.Threaded ~scale ~fuel w)
+      in
+      let region =
+        best ~repeats (fun () ->
+            run_once ~engine:Core.Config.Region ~scale ~fuel w)
+      in
+      {
+        rr_name = w.name;
+        rr_matched = matched;
+        rr_threaded = threaded;
+        rr_region = region;
+        rr_mismatches = verify ~matched ~threaded:region;
+      })
+    Workloads.all
+
+let render_region fmt rows =
+  Format.fprintf fmt
+    "Region tier-up throughput (whole-VM V-ISA MIPS, translated execution)@.";
+  Format.fprintf fmt "%-12s %10s %10s %10s %9s %9s  %s@." "workload" "matched"
+    "threaded" "region" "vs match" "vs thrd" "check";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-12s %10.2f %10.2f %10.2f %8.2fx %8.2fx  %s@."
+        r.rr_name (mips r.rr_matched) (mips r.rr_threaded) (mips r.rr_region)
+        (region_speedup r) (region_vs_threaded r)
+        (if r.rr_mismatches = [] then "ok"
+         else String.concat "; " r.rr_mismatches))
+    rows;
+  let gm = Runner.geomean (List.map region_speedup rows) in
+  Format.fprintf fmt "%-12s %10s %10s %10s %8.2fx %8.2fx@." "geomean" "" "" ""
+    gm
+    (Runner.geomean (List.map region_vs_threaded rows));
+  gm
+
+let region_schema = "ildp-dbt-region/1"
+
+let json_of_region_row r =
+  let module J = Obs.Json in
+  J.Obj
+    [ ("name", J.String r.rr_name);
+      ("outcome", J.String r.rr_region.outcome);
+      ("v_insns", J.Int (retired r.rr_region));
+      ("translated_alpha", J.Int r.rr_region.alpha);
+      ("interp_insns", J.Int r.rr_region.interp_insns);
+      ("match_mips", J.Float (mips r.rr_matched));
+      ("threaded_mips", J.Float (mips r.rr_threaded));
+      ("region_mips", J.Float (mips r.rr_region));
+      ("speedup", J.Float (region_speedup r));
+      ("vs_threaded", J.Float (region_vs_threaded r));
+      ("verified", J.Bool (r.rr_mismatches = [])) ]
+
+let region_to_json ~jobs ~scale ~fuel ~repeats rows =
+  let module J = Obs.Json in
+  Obs.Envelope.wrap ~schema:region_schema ~jobs
+    [ ("scale", J.Int scale);
+      ("fuel", J.Int fuel);
+      ("repeats", J.Int repeats);
+      ("workloads", J.List (List.map json_of_region_row rows));
+      ("geomean_speedup",
+       J.Float (Runner.geomean (List.map region_speedup rows)));
+      ("geomean_vs_threaded",
+       J.Float (Runner.geomean (List.map region_vs_threaded rows))) ]
+
+let write_region_json path ~jobs ~scale ~fuel ~repeats rows =
+  Obs.Json.write_file path (region_to_json ~jobs ~scale ~fuel ~repeats rows)

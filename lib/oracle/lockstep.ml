@@ -128,9 +128,12 @@ let fragment_at vm i_pc =
                 Alpha.Disasm.to_string (Core.Tcache.Straight.get ctx.tc s)))
     | None, None -> None
 
-let run ?(granularity = Boundary) ?(threaded = false) ?(flush_every = 0)
-    ?(fuel = 50_000_000) ?(hot_threshold = 10) ?(warm_start = false) ?corrupt
-    ~mode prog =
+let run ?(granularity = Boundary) ?(threaded = false) ?(region = false)
+    ?(flush_every = 0) ?(fuel = 50_000_000) ?(hot_threshold = 10)
+    ?(warm_start = false) ?corrupt ~mode prog =
+  (* [region] subsumes [threaded]: both run sink-less so the VM takes a
+     non-instrumented engine. *)
+  let threaded = threaded || region in
   (* per-instruction comparison is unsound mid-fragment for accumulator
      backends (deferred state copies); restrict it to straightened code.
      The threaded-code engine emits no events at all, so under [threaded]
@@ -144,7 +147,12 @@ let run ?(granularity = Boundary) ?(threaded = false) ?(flush_every = 0)
   let cfg =
     { Core.Config.default with
       isa = mode.isa; chaining = mode.chaining; fuse_mem = mode.fuse_mem;
-      hot_threshold }
+      hot_threshold;
+      engine = (if region then Core.Config.Region else Core.Config.Threaded);
+      (* aggressive promotion so oracle-sized programs actually tier up;
+         exercises region compile/run/invalidate on nearly every seed *)
+      region_threshold = (if region then 4 else Core.Config.default.region_threshold)
+    }
   in
   (* Warm start under test: run a throwaway VM of the same configuration
      cold to completion, snapshot its translation cache, push the snapshot

@@ -72,6 +72,7 @@ type result = Agree of coverage | Diverge of divergence
 val run :
   ?granularity:granularity ->
   ?threaded:bool ->
+  ?region:bool ->
   ?flush_every:int ->
   ?fuel:int ->
   ?hot_threshold:int ->
@@ -85,7 +86,13 @@ val run :
     translated execution takes the threaded-code engine — the oracle then
     validates that engine instead of the instrumented one, at the cost of
     per-instruction granularity and fragment-disassembly context in
-    divergence reports. [flush_every] > 0 injects a {!Core.Vm.flush}
+    divergence reports. [region] (default false) additionally selects
+    [Core.Config.Region] with an aggressive promotion threshold (4
+    fragment entries), so the oracle validates the region tier-up
+    compiler — bulk accounting, direct intra-region transfers, and
+    region invalidation on flush/patch — against the golden interpreter;
+    it implies the sink-less setup of [threaded]. [flush_every] > 0
+    injects a {!Core.Vm.flush}
     every that many segment boundaries (default 0 = never).
     [hot_threshold] defaults to 10 so short programs reach translated
     code. [warm_start] (default false) first runs a throwaway VM cold to

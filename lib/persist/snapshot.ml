@@ -6,7 +6,10 @@ module B = Bin_io
 exception Error of string
 
 let magic = "ILDPSNAP"
-let version = 1
+
+(* version 2: fingerprint gained the region tier-up knobs
+   (fp_region_threshold / fp_region_max_slots). *)
+let version = 2
 
 type fingerprint = {
   fp_backend : string;
@@ -18,6 +21,8 @@ type fingerprint = {
   fp_max_superblock : int;
   fp_stop_at_translated : bool;
   fp_fuse_mem : bool;
+  fp_region_threshold : int;
+  fp_region_max_slots : int;
   fp_image_digest : string;
 }
 
@@ -42,6 +47,8 @@ let fingerprint_mismatches ~got ~want =
       i "max_superblock" got.fp_max_superblock want.fp_max_superblock;
       b "stop_at_translated" got.fp_stop_at_translated want.fp_stop_at_translated;
       b "fuse_mem" got.fp_fuse_mem want.fp_fuse_mem;
+      i "region_threshold" got.fp_region_threshold want.fp_region_threshold;
+      i "region_max_slots" got.fp_region_max_slots want.fp_region_max_slots;
       s "image_digest" got.fp_image_digest want.fp_image_digest;
     ]
 
@@ -98,6 +105,8 @@ let put_fingerprint w fp =
   B.int w fp.fp_max_superblock;
   B.bool w fp.fp_stop_at_translated;
   B.bool w fp.fp_fuse_mem;
+  B.int w fp.fp_region_threshold;
+  B.int w fp.fp_region_max_slots;
   B.str w fp.fp_image_digest
 
 let get_fingerprint r =
@@ -110,9 +119,12 @@ let get_fingerprint r =
   let fp_max_superblock = B.read_int r in
   let fp_stop_at_translated = B.read_bool r in
   let fp_fuse_mem = B.read_bool r in
+  let fp_region_threshold = B.read_int r in
+  let fp_region_max_slots = B.read_int r in
   let fp_image_digest = B.read_str r in
   { fp_backend; fp_isa; fp_chaining; fp_engine; fp_n_accs; fp_hot_threshold;
-    fp_max_superblock; fp_stop_at_translated; fp_fuse_mem; fp_image_digest }
+    fp_max_superblock; fp_stop_at_translated; fp_fuse_mem;
+    fp_region_threshold; fp_region_max_slots; fp_image_digest }
 
 let put_frag w f =
   B.int w f.f_id;

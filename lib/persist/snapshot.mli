@@ -32,6 +32,8 @@ type fingerprint = {
   fp_max_superblock : int;
   fp_stop_at_translated : bool;
   fp_fuse_mem : bool;
+  fp_region_threshold : int;
+  fp_region_max_slots : int;
   fp_image_digest : string;  (** hex MD5 of the program image + entry *)
 }
 
