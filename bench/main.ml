@@ -13,6 +13,8 @@
    one Bechamel test per stage. *)
 
 let scale = ref 1
+let scale_set = ref false (* --scale given explicitly *)
+let sample_interval = ref Uarch.Fastfwd.default_interval
 let experiment = ref None
 let bechamel = ref false
 let list_only = ref false
@@ -29,7 +31,17 @@ let load_cache = ref None
 let args =
   [
     ("-e", Arg.String (fun s -> experiment := Some s), "ID run one experiment");
-    ("--scale", Arg.Set_int scale, "N workload scale factor (default 1)");
+    ("--scale",
+     Arg.Int
+       (fun n ->
+         scale := n;
+         scale_set := true),
+     "N workload scale factor (default 1; timing-fastfwd defaults to 10)");
+    ("--sample-interval", Arg.Set_int sample_interval,
+     Printf.sprintf
+       "N fast-forward sampling interval in committed instructions \
+        (default %d; 0 = always-on detailed model)"
+       Uarch.Fastfwd.default_interval);
     ("--jobs", Arg.Set_int jobs,
      "N simulation worker domains (default: recommended domain count)");
     ("--bench-json", Arg.String (fun f -> bench_json := Some f),
@@ -227,6 +239,42 @@ let run_region_throughput fmt ~scale ~repeats =
     exit 1
   end
 
+(* ---------- fast-forward timing (sampled vs full-fidelity ILDP) ---------- *)
+
+(* The timing sweep defaults to 10x workload scale: interval sampling is
+   exactly what makes the larger runs affordable, and at scale 1 some
+   workloads commit too few translated instructions for the sampled
+   estimate to be meaningful. An explicit --scale always wins. *)
+let timing_scale () = if !scale_set then !scale else 10
+
+(* Not a paper experiment: sampled vs full-fidelity ILDP timing over the
+   workloads, gated on the sampled estimate's accuracy (not speed). Exit
+   status 1 on any divergence, so CI can gate on it (@timing-smoke). *)
+let run_timing fmt ~scale ~interval =
+  let rows = Harness.Fastfwd_bench.sweep ~interval ~scale () in
+  let max_err = Harness.Fastfwd_bench.render fmt rows in
+  Format.pp_print_flush fmt ();
+  Option.iter
+    (fun path ->
+      Harness.Fastfwd_bench.write_json path ~jobs:1 ~scale
+        ~fuel:Harness.Fastfwd_bench.default_fuel ~interval rows;
+      Printf.printf "wrote %s\n" path)
+    !bench_json;
+  if
+    List.exists
+      (fun (r : Harness.Fastfwd_bench.row) -> r.mismatches <> [])
+      rows
+  then begin
+    prerr_endline "timing-fastfwd: sampled run diverged from full fidelity";
+    exit 1
+  end;
+  if max_err > Harness.Fastfwd_bench.err_bound then begin
+    Printf.eprintf "timing-fastfwd: sampled V-IPC error %.1f%% exceeds %.0f%%\n"
+      (100.0 *. max_err)
+      (100.0 *. Harness.Fastfwd_bench.err_bound);
+    exit 1
+  end
+
 (* ---------- persistent-snapshot warm start (cold vs warm) ---------- *)
 
 (* Not a paper experiment: cold-vs-warm start of the VM from a persisted
@@ -295,7 +343,14 @@ let run_check path =
   let region_sweep () =
     Harness.Throughput.region_sweep ~scale:!scale ~repeats:!repeats ()
   in
-  let r = Harness.Check.run ~tol:!check_tol ~ids ~sweep ~region_sweep path in
+  let timing_sweep () =
+    Harness.Fastfwd_bench.sweep ~interval:!sample_interval
+      ~scale:(timing_scale ()) ()
+  in
+  let r =
+    Harness.Check.run ~tol:!check_tol ~ids ~sweep ~region_sweep ~timing_sweep
+      path
+  in
   Printf.printf "check %s (tol ±%.0f%%)\n" path (100.0 *. !check_tol);
   List.iter print_endline r.Harness.Check.lines;
   if not r.Harness.Check.ok then exit 1
@@ -325,6 +380,8 @@ let () =
       "VM execution-engine throughput (threaded vs. match), verified";
     Printf.printf "%-8s %s\n" "region-throughput"
       "region tier-up engine throughput (three-way, verified)";
+    Printf.printf "%-8s %s\n" "timing-fastfwd"
+      "sampled vs full-fidelity ILDP timing, accuracy-gated";
     Printf.printf "%-8s %s\n" "persist"
       "cold vs warm start from a translation-cache snapshot, verified"
   end
@@ -358,6 +415,8 @@ let () =
       run_throughput fmt ~scale:!scale ~repeats:!repeats
     | Some "region-throughput" ->
       run_region_throughput fmt ~scale:!scale ~repeats:!repeats
+    | Some "timing-fastfwd" ->
+      run_timing fmt ~scale:(timing_scale ()) ~interval:!sample_interval
     | Some "persist" -> run_persist fmt ~scale:!scale
     | Some id -> (
       match Harness.Experiments.find id with

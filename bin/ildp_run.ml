@@ -45,7 +45,7 @@ let show_outcome buf = function
 (* Run one program; the whole report goes into [buf] so several runs can
    proceed on worker domains without interleaving their output. *)
 let run_one buf src scale isa chaining n_accs engine interp_only straight ildp
-    ooo n_pe comm disasm fuel save_cache load_cache =
+    ooo n_pe comm sample disasm fuel save_cache load_cache =
   let prog = load_program src scale in
   let isa = if isa = "basic" then Core.Config.Basic else Core.Config.Modified in
   let chaining =
@@ -101,17 +101,32 @@ let run_one buf src scale isa chaining n_accs engine interp_only straight ildp
       else None
     in
     let ooo_m = if ooo && straight then Some (Uarch.Ooo.create ()) else None in
+    (* --sample-interval wraps the ILDP model in the fast-forward
+       sampling controller; 0 keeps the always-on detailed model *)
+    let ildp_ctl =
+      match ildp_m with
+      | Some m when sample > 0 ->
+        Some
+          (Uarch.Fastfwd.create ~interval:sample ~warm:(Uarch.Ildp.warm m)
+             ~feed:(Uarch.Ildp.feed m)
+             ~boundary:(fun () -> Uarch.Ildp.boundary m)
+             ~cycles:(fun () -> m.Uarch.Ildp.last_commit)
+             ())
+      | _ -> None
+    in
     let sink =
-      match (ildp_m, ooo_m) with
-      | Some m, _ -> Some (Uarch.Ildp.feed m)
-      | None, Some m -> Some (Uarch.Ooo.feed m)
-      | None, None -> None
+      match (ildp_ctl, ildp_m, ooo_m) with
+      | Some c, _, _ -> Some (Uarch.Fastfwd.feed c)
+      | None, Some m, _ -> Some (Uarch.Ildp.feed m)
+      | None, None, Some m -> Some (Uarch.Ooo.feed m)
+      | None, None, None -> None
     in
     let boundary =
-      match (ildp_m, ooo_m) with
-      | Some m, _ -> Some (fun () -> Uarch.Ildp.boundary m)
-      | None, Some m -> Some (fun () -> Uarch.Ooo.boundary m)
-      | None, None -> None
+      match (ildp_ctl, ildp_m, ooo_m) with
+      | Some c, _, _ -> Some (fun () -> Uarch.Fastfwd.boundary c)
+      | None, Some m, _ -> Some (fun () -> Uarch.Ildp.boundary m)
+      | None, None, Some m -> Some (fun () -> Uarch.Ooo.boundary m)
+      | None, None, None -> None
     in
     let outcome = Core.Vm.run ?sink ?boundary ~fuel vm in
     Core.Vm.publish_obs vm;
@@ -161,12 +176,19 @@ let run_one buf src scale isa chaining n_accs engine interp_only straight ildp
           (Core.Tcache.Acc.fragments ctx.tc)
       end
     | None -> ());
-    Option.iter
-      (fun m ->
-        Printf.bprintf buf "cycles         : %d\n" (Uarch.Ildp.cycles m);
-        Printf.bprintf buf "V-ISA IPC      : %.3f\n" (Uarch.Ildp.v_ipc m);
-        Printf.bprintf buf "native I-IPC   : %.3f\n" (Uarch.Ildp.ipc m))
-      ildp_m;
+    (match (ildp_ctl, ildp_m) with
+    | Some c, Some _ ->
+      Uarch.Fastfwd.publish_obs c;
+      Printf.bprintf buf "cycles         : %d (sampled, interval %d)\n"
+        (Uarch.Fastfwd.cycles c) sample;
+      Printf.bprintf buf "V-ISA IPC      : %.3f\n" (Uarch.Fastfwd.v_ipc c);
+      Printf.bprintf buf "model skipped  : %.1f%% of insns\n"
+        (100.0 *. Uarch.Fastfwd.skip_ratio c)
+    | None, Some m ->
+      Printf.bprintf buf "cycles         : %d\n" (Uarch.Ildp.cycles m);
+      Printf.bprintf buf "V-ISA IPC      : %.3f\n" (Uarch.Ildp.v_ipc m);
+      Printf.bprintf buf "native I-IPC   : %.3f\n" (Uarch.Ildp.ipc m)
+    | _, None -> ());
     Option.iter
       (fun m ->
         Printf.bprintf buf "cycles         : %d\n" (Uarch.Ooo.cycles m);
@@ -180,7 +202,7 @@ let run_one buf src scale isa chaining n_accs engine interp_only straight ildp
   end
 
 let run srcs scale isa chaining n_accs engine interp_only straight ildp ooo
-    n_pe comm disasm fuel jobs telemetry save_cache load_cache =
+    n_pe comm sample disasm fuel jobs telemetry save_cache load_cache =
   Option.iter (fun _ -> Obs.set_enabled true) telemetry;
   if (save_cache <> None || load_cache <> None) && List.length srcs > 1 then begin
     Printf.eprintf "--save-cache/--load-cache need exactly one program\n";
@@ -193,7 +215,7 @@ let run srcs scale isa chaining n_accs engine interp_only straight ildp ooo
   let report src =
     let buf = Buffer.create 1024 in
     run_one buf src scale isa chaining n_accs engine interp_only straight ildp
-      ooo n_pe comm disasm fuel save_cache load_cache;
+      ooo n_pe comm sample disasm fuel save_cache load_cache;
     Buffer.contents buf
   in
   let used_jobs = ref 1 in
@@ -255,6 +277,13 @@ let cmd =
   let ooo = Arg.(value & flag & info [ "ooo" ] ~doc:"Attach the superscalar timing model.") in
   let n_pe = Arg.(value & opt int 8 & info [ "pes" ] ~doc:"ILDP processing elements.") in
   let comm = Arg.(value & opt int 0 & info [ "comm" ] ~doc:"ILDP communication latency.") in
+  let sample =
+    Arg.(value & opt int 0 & info [ "sample-interval" ]
+           ~doc:"With --ildp: feed the timing model only a warm-up + detail \
+                 window out of every $(docv) committed instructions and \
+                 back-charge the rest at the measured rate. 0 (default) \
+                 keeps the always-on detailed model.")
+  in
   let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Dump translated fragments.") in
   let fuel =
     Arg.(value & opt int 200_000_000 & info [ "fuel" ] ~doc:"Instruction budget.")
@@ -283,7 +312,7 @@ let cmd =
     (Cmd.info "ildp_run" ~doc:"Run programs under the ILDP co-designed VM")
     Term.(
       const run $ srcs $ scale $ isa $ chaining $ n_accs $ engine $ interp
-      $ straight $ ildp $ ooo $ n_pe $ comm $ disasm $ fuel $ jobs $ telemetry
-      $ save_cache $ load_cache)
+      $ straight $ ildp $ ooo $ n_pe $ comm $ sample $ disasm $ fuel $ jobs
+      $ telemetry $ save_cache $ load_cache)
 
 let () = exit (Cmd.eval cmd)

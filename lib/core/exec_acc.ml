@@ -40,6 +40,10 @@ type stats = {
   mutable i_exec : int; (* I-ISA instructions executed *)
   by_class : int array; (* per Translate.slot_class *)
   mutable alpha_retired : int; (* V-ISA instructions retired in fragments *)
+  mutable st_cycles : int;
+  (* static cycle cost charged (fast-forward tier): the sum of the
+     executed slots' translation-time Ildp annotations, 0 when the VM was
+     built without an annotator *)
   mutable frag_enters : int;
   mutable ret_dras_hits : int;
   mutable ret_dras_misses : int;
@@ -58,6 +62,7 @@ type t = {
   mutable ops : op array; (* compiled slots [0, ops_len) *)
   mutable alphas : int array; (* per-slot V-ISA retirement, ops-parallel *)
   mutable classes : int array; (* per-slot Translate.slot_class, ops-parallel *)
+  mutable cycs : int array; (* per-slot static Ildp cycles, ops-parallel *)
   mutable ops_len : int;
   mutable ops_gen : int; (* Tcache generation the compiled prefix shadows *)
   mutable patch_mark : int; (* patch-log entries already recompiled *)
@@ -98,6 +103,7 @@ let create ctx interp =
         i_exec = 0;
         by_class = Array.make 4 0;
         alpha_retired = 0;
+        st_cycles = 0;
         frag_enters = 0;
         ret_dras_hits = 0;
         ret_dras_misses = 0;
@@ -105,6 +111,7 @@ let create ctx interp =
     ops = [||];
     alphas = [||];
     classes = [||];
+    cycs = [||];
     ops_len = 0;
     ops_gen = -1;
     patch_mark = 0;
@@ -252,6 +259,11 @@ let dst_fn t (d : I.dst) : int64 -> unit =
 let faulted t s =
   t.stats.alpha_retired <- t.stats.alpha_retired - 1;
   t.budget <- t.budget + 1;
+  (* unlike the single retirement credit above, the slot's whole static
+     cycle cost is refunded: the interpreter re-execution is charged at
+     full fidelity by the caller's dynamic-correction path, so leaving any
+     static share behind would double-charge the faulting instruction *)
+  t.stats.st_cycles <- t.stats.st_cycles - Array.unsafe_get t.cycs s;
   match apply_pei_map t s with
   | Some v_pc ->
     t.interp.pc <- v_pc;
@@ -266,8 +278,11 @@ let c_region_compiles = Obs.counter "engine.region_compiles"
 let c_region_exits = Obs.counter "engine.region_exits"
 let c_region_invalidations = Obs.counter "engine.region_invalidations"
 
+(* Top bound matches the default [region_max_slots] cap (1024); the
+   [.saturated] counter reports clipping under a raised cap. *)
 let h_region_slots =
-  Obs.histogram "engine.region_slots" ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512 |]
+  Obs.histogram "engine.region_slots"
+    ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512; 1024 |]
 
 let sp_region = Obs.span "compile_region"
 
@@ -293,6 +308,7 @@ let unwind_region_suffix t (rg : Region.t) b s =
     let c = Array.unsafe_get t.classes sl in
     st.by_class.(c) <- st.by_class.(c) - 1;
     st.alpha_retired <- st.alpha_retired - a;
+    st.st_cycles <- st.st_cycles - Array.unsafe_get t.cycs sl;
     t.budget <- t.budget + a
   done
 
@@ -309,7 +325,7 @@ let run_region t (rg : Region.t) (orig : op) b0 : int =
   let ops = t.ops in
   let entry = rg.entry_slot in
   let b_start = rg.b_start and b_len = rg.b_len and b_alpha = rg.b_alpha in
-  let b_cls = rg.b_cls in
+  let b_cyc = rg.b_cyc and b_cls = rg.b_cls in
   let b_fall_slot = rg.b_fall_slot and b_fall_blk = rg.b_fall_blk in
   let b_taken_slot = rg.b_taken_slot and b_taken_blk = rg.b_taken_blk in
   let st = t.stats in
@@ -324,6 +340,7 @@ let run_region t (rg : Region.t) (orig : op) b0 : int =
       t.budget <- t.budget - ba;
       st.i_exec <- st.i_exec + Array.unsafe_get b_len b;
       st.alpha_retired <- st.alpha_retired + ba;
+      st.st_cycles <- st.st_cycles + Array.unsafe_get b_cyc b;
       let base = b * Region.n_classes in
       for c = 0 to Region.n_classes - 1 do
         Array.unsafe_set by_class c
@@ -375,6 +392,7 @@ let make_region_op t (rg : Region.t) (orig : op) : op =
   let eb = rg.entry_block in
   let e_alpha = t.alphas.(rg.entry_slot) in
   let e_cls = t.classes.(rg.entry_slot) in
+  let e_cyc = t.cycs.(rg.entry_slot) in
   let entry_guard = rg.b_alpha.(eb) - e_alpha in
   fun t ->
     if t.budget <= entry_guard then orig t
@@ -383,6 +401,7 @@ let make_region_op t (rg : Region.t) (orig : op) : op =
       st.i_exec <- st.i_exec - 1;
       st.by_class.(e_cls) <- st.by_class.(e_cls) - 1;
       st.alpha_retired <- st.alpha_retired - e_alpha;
+      st.st_cycles <- st.st_cycles - e_cyc;
       t.budget <- t.budget + e_alpha;
       run_region t rg orig eb
     end
@@ -410,6 +429,7 @@ let promote t (f : Tcache.frag) =
               | _ -> None)
             ~ctrl:(fun s -> ctrl_of_insn (Tcache.Acc.get tc s))
             ~alpha:(fun s -> t.alphas.(s))
+            ~cyc:(fun s -> t.cycs.(s))
             ~cls:(fun s -> t.classes.(s))
             ~max_slots:t.ctx.cfg.region_max_slots)
     in
@@ -867,10 +887,13 @@ let sync_ops t =
     Array.blit t.ops 0 grown 0 t.ops_len;
     t.ops <- grown;
     let ga = Array.make !cap 0 and gc = Array.make !cap 0 in
+    let gy = Array.make !cap 0 in
     Array.blit t.alphas 0 ga 0 t.ops_len;
     Array.blit t.classes 0 gc 0 t.ops_len;
+    Array.blit t.cycs 0 gy 0 t.ops_len;
     t.alphas <- ga;
-    t.classes <- gc
+    t.classes <- gc;
+    t.cycs <- gy
   end;
   (* compile fresh slots first so late patches to them recompile below *)
   let m = Tcache.Acc.patch_count tc in
@@ -880,7 +903,8 @@ let sync_ops t =
         for sl = t.ops_len to n - 1 do
           Array.unsafe_set t.ops sl (compile t sl);
           Array.unsafe_set t.alphas sl (Vec.get t.ctx.slot_alpha sl);
-          Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl)
+          Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl);
+          Array.unsafe_set t.cycs sl (Vec.get t.ctx.slot_cyc_ildp sl)
         done;
         t.ops_len <- n;
         (* a patch rewrites a slot's control shape: drop any region whose
@@ -932,6 +956,7 @@ let run_threaded ?(fuel = max_int) t ~entry : exit =
   t.budget <- fuel;
   enter_dynamic t entry;
   let ops = t.ops and alphas = t.alphas and classes = t.classes in
+  let cycs = t.cycs in
   let st = t.stats in
   let by_class = st.by_class in
   let rec loop slot =
@@ -940,6 +965,7 @@ let run_threaded ?(fuel = max_int) t ~entry : exit =
     Array.unsafe_set by_class cls (Array.unsafe_get by_class cls + 1);
     let a = Array.unsafe_get alphas slot in
     st.alpha_retired <- st.alpha_retired + a;
+    st.st_cycles <- st.st_cycles + Array.unsafe_get cycs slot;
     t.budget <- t.budget - a;
     let n = (Array.unsafe_get ops slot) t in
     if n >= 0 then if t.budget <= 0 then X_fuel else loop n
@@ -971,6 +997,7 @@ let run_instrumented ?sink ?(fuel = max_int) t ~entry : exit =
     t.stats.by_class.(Vec.get t.ctx.slot_class s) <-
       t.stats.by_class.(Vec.get t.ctx.slot_class s) + 1;
     t.stats.alpha_retired <- t.stats.alpha_retired + alpha;
+    t.stats.st_cycles <- t.stats.st_cycles + Vec.get t.ctx.slot_cyc_ildp s;
     budget := !budget - alpha;
     let next = ref (s + 1) in
     let taken = ref false in
@@ -1057,8 +1084,11 @@ let run_instrumented ?sink ?(fuel = max_int) t ~entry : exit =
          re-executes it by interpretation — so take back the one
          retirement credit this slot claimed for it. (Credits for earlier
          straightened-away instructions folded into the same slot did
-         commit on the way in and stay counted.) *)
+         commit on the way in and stay counted.) The slot's whole static
+         cycle cost is refunded — the interpreter re-execution is charged
+         at full fidelity, cf. [faulted]. *)
       t.stats.alpha_retired <- t.stats.alpha_retired - 1;
+      t.stats.st_cycles <- t.stats.st_cycles - Vec.get t.ctx.slot_cyc_ildp s;
       budget := !budget + 1;
       match apply_pei_map t s with
       | Some v_pc ->

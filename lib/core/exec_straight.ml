@@ -18,6 +18,9 @@ type stats = {
   mutable i_exec : int;
   by_class : int array;
   mutable alpha_retired : int;
+  mutable st_cycles : int;
+  (* static cycle cost charged (fast-forward tier): sum of the executed
+     slots' translation-time Ooo annotations, 0 without an annotator *)
   mutable frag_enters : int;
   mutable ret_dras_hits : int;
   mutable ret_dras_misses : int;
@@ -33,6 +36,7 @@ type t = {
   mutable ops : op array;
   mutable alphas : int array;
   mutable classes : int array;
+  mutable cycs : int array; (* per-slot static Ooo cycles, ops-parallel *)
   mutable ops_len : int;
   mutable ops_gen : int;
   mutable patch_mark : int;
@@ -63,6 +67,7 @@ let create ctx interp =
         i_exec = 0;
         by_class = Array.make 4 0;
         alpha_retired = 0;
+        st_cycles = 0;
         frag_enters = 0;
         ret_dras_hits = 0;
         ret_dras_misses = 0;
@@ -70,6 +75,7 @@ let create ctx interp =
     ops = [||];
     alphas = [||];
     classes = [||];
+    cycs = [||];
     ops_len = 0;
     ops_gen = -1;
     patch_mark = 0;
@@ -128,10 +134,14 @@ let set_fn t r : (int64 -> unit) option =
 let wr_fn t r : int64 -> unit =
   match set_fn t r with Some f -> f | None -> fun _ -> ()
 
-(* Cold fault path; see the matching comment in Exec_acc. *)
+(* Cold fault path; see the matching comment in Exec_acc. The whole
+   static cycle cost of the slot is refunded (unlike the single
+   retirement credit): the interpreter re-execution is charged at full
+   fidelity by the dynamic-correction path. *)
 let faulted t s =
   t.stats.alpha_retired <- t.stats.alpha_retired - 1;
   t.budget <- t.budget + 1;
+  t.stats.st_cycles <- t.stats.st_cycles - Array.unsafe_get t.cycs s;
   match Tcache.Straight.pei_at t.ctx.tc s with
   | Some pei ->
     t.interp.pc <- pei.Tcache.pei_v_pc;
@@ -145,8 +155,11 @@ let c_region_compiles = Obs.counter "engine.region_compiles"
 let c_region_exits = Obs.counter "engine.region_exits"
 let c_region_invalidations = Obs.counter "engine.region_invalidations"
 
+(* Top bound matches the default [region_max_slots] cap (1024); the
+   [.saturated] counter reports clipping under a raised cap. *)
 let h_region_slots =
-  Obs.histogram "engine.region_slots" ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512 |]
+  Obs.histogram "engine.region_slots"
+    ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512; 1024 |]
 
 let sp_region = Obs.span "compile_region"
 
@@ -171,6 +184,7 @@ let unwind_region_suffix t (rg : Region.t) b s =
     let c = Array.unsafe_get t.classes sl in
     st.by_class.(c) <- st.by_class.(c) - 1;
     st.alpha_retired <- st.alpha_retired - a;
+    st.st_cycles <- st.st_cycles - Array.unsafe_get t.cycs sl;
     t.budget <- t.budget + a
   done
 
@@ -178,7 +192,7 @@ let run_region t (rg : Region.t) (orig : op) b0 : int =
   let ops = t.ops in
   let entry = rg.entry_slot in
   let b_start = rg.b_start and b_len = rg.b_len and b_alpha = rg.b_alpha in
-  let b_cls = rg.b_cls in
+  let b_cyc = rg.b_cyc and b_cls = rg.b_cls in
   let b_fall_slot = rg.b_fall_slot and b_fall_blk = rg.b_fall_blk in
   let b_taken_slot = rg.b_taken_slot and b_taken_blk = rg.b_taken_blk in
   let st = t.stats in
@@ -193,6 +207,7 @@ let run_region t (rg : Region.t) (orig : op) b0 : int =
       t.budget <- t.budget - ba;
       st.i_exec <- st.i_exec + Array.unsafe_get b_len b;
       st.alpha_retired <- st.alpha_retired + ba;
+      st.st_cycles <- st.st_cycles + Array.unsafe_get b_cyc b;
       let base = b * Region.n_classes in
       for c = 0 to Region.n_classes - 1 do
         Array.unsafe_set by_class c
@@ -237,6 +252,7 @@ let make_region_op t (rg : Region.t) (orig : op) : op =
   let eb = rg.entry_block in
   let e_alpha = t.alphas.(rg.entry_slot) in
   let e_cls = t.classes.(rg.entry_slot) in
+  let e_cyc = t.cycs.(rg.entry_slot) in
   let entry_guard = rg.b_alpha.(eb) - e_alpha in
   fun t ->
     if t.budget <= entry_guard then orig t
@@ -245,6 +261,7 @@ let make_region_op t (rg : Region.t) (orig : op) : op =
       st.i_exec <- st.i_exec - 1;
       st.by_class.(e_cls) <- st.by_class.(e_cls) - 1;
       st.alpha_retired <- st.alpha_retired - e_alpha;
+      st.st_cycles <- st.st_cycles - e_cyc;
       t.budget <- t.budget + e_alpha;
       run_region t rg orig eb
     end
@@ -266,6 +283,7 @@ let promote t (f : Tcache.frag) =
               | _ -> None)
             ~ctrl:(fun s -> ctrl_of_insn (Tcache.Straight.get tc s))
             ~alpha:(fun s -> t.alphas.(s))
+            ~cyc:(fun s -> t.cycs.(s))
             ~cls:(fun s -> t.classes.(s))
             ~max_slots:t.ctx.cfg.region_max_slots)
     in
@@ -592,10 +610,13 @@ let sync_ops t =
     Array.blit t.ops 0 grown 0 t.ops_len;
     t.ops <- grown;
     let ga = Array.make !cap 0 and gc = Array.make !cap 0 in
+    let gy = Array.make !cap 0 in
     Array.blit t.alphas 0 ga 0 t.ops_len;
     Array.blit t.classes 0 gc 0 t.ops_len;
+    Array.blit t.cycs 0 gy 0 t.ops_len;
     t.alphas <- ga;
-    t.classes <- gc
+    t.classes <- gc;
+    t.cycs <- gy
   end;
   let m = Tcache.Straight.patch_count tc in
   if n > t.ops_len || m > t.patch_mark then
@@ -604,7 +625,8 @@ let sync_ops t =
         for sl = t.ops_len to n - 1 do
           Array.unsafe_set t.ops sl (compile t sl);
           Array.unsafe_set t.alphas sl (Vec.get t.ctx.slot_alpha sl);
-          Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl)
+          Array.unsafe_set t.classes sl (Vec.get t.ctx.slot_class sl);
+          Array.unsafe_set t.cycs sl (Vec.get t.ctx.slot_cyc_ooo sl)
         done;
         t.ops_len <- n;
         (* drop regions covering a patched slot before recompiling it *)
@@ -646,6 +668,7 @@ let run_threaded ?(fuel = max_int) t ~entry : exit =
   t.budget <- fuel;
   enter_dynamic t entry;
   let ops = t.ops and alphas = t.alphas and classes = t.classes in
+  let cycs = t.cycs in
   let st = t.stats in
   let by_class = st.by_class in
   let rec loop slot =
@@ -654,6 +677,7 @@ let run_threaded ?(fuel = max_int) t ~entry : exit =
     Array.unsafe_set by_class cls (Array.unsafe_get by_class cls + 1);
     let a = Array.unsafe_get alphas slot in
     st.alpha_retired <- st.alpha_retired + a;
+    st.st_cycles <- st.st_cycles + Array.unsafe_get cycs slot;
     t.budget <- t.budget - a;
     let n = (Array.unsafe_get ops slot) t in
     if n >= 0 then if t.budget <= 0 then X_fuel else loop n
@@ -686,6 +710,7 @@ let run_instrumented ?sink ?(fuel = max_int) t ~entry : exit =
     t.stats.by_class.(Vec.get t.ctx.slot_class s) <-
       t.stats.by_class.(Vec.get t.ctx.slot_class s) + 1;
     t.stats.alpha_retired <- t.stats.alpha_retired + alpha;
+    t.stats.st_cycles <- t.stats.st_cycles + Vec.get t.ctx.slot_cyc_ooo s;
     budget := !budget - alpha;
     let next = ref (s + 1) in
     let taken = ref false in
@@ -772,8 +797,10 @@ let run_instrumented ?sink ?(fuel = max_int) t ~entry : exit =
     | Memory.Fault _ | Unaligned_s _ -> (
       (* the faulting V-ISA instruction does not commit here (the VM
          re-executes it by interpretation) — take back its retirement
-         credit; see the matching comment in Exec_acc *)
+         credit and the slot's whole static cycle cost; see the matching
+         comment in Exec_acc *)
       t.stats.alpha_retired <- t.stats.alpha_retired - 1;
+      t.stats.st_cycles <- t.stats.st_cycles - Vec.get t.ctx.slot_cyc_ooo s;
       budget := !budget + 1;
       match Tcache.Straight.pei_at tc s with
       | Some pei ->

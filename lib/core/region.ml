@@ -53,6 +53,7 @@ type t = {
   b_start : int array;
   b_len : int array;
   b_alpha : int array; (* per-block V-ISA retirement total *)
+  b_cyc : int array; (* per-block static cycle total (fast-forward tier) *)
   b_cls : int array; (* n_blocks * n_classes, flattened per-class counts *)
   b_fall_slot : int array; (* fall-through slot if it is an in-region
                               block start, else [no_slot] *)
@@ -96,7 +97,7 @@ let contains t slot =
    own region closure — a region must never call another region's entry
    closure mid-block). *)
 let build ~entry ~frag_at ~(ctrl : int -> ctrl) ~(alpha : int -> int)
-    ~(cls : int -> int) ~max_slots : t option =
+    ~(cyc : int -> int) ~(cls : int -> int) ~max_slots : t option =
   match frag_at entry with
   | None -> None
   | Some (n0, _) when n0 <= 0 || n0 > max_slots -> None
@@ -176,6 +177,7 @@ let build ~entry ~frag_at ~(ctrl : int -> ctrl) ~(alpha : int -> int)
     Array.iteri (fun i s -> Hashtbl.replace blk_of s i) b_start;
     let b_len = Array.init n_blocks (fun i -> ends.(i) - b_start.(i) + 1) in
     let b_alpha = Array.make n_blocks 0 in
+    let b_cyc = Array.make n_blocks 0 in
     let b_cls = Array.make (n_blocks * n_classes) 0 in
     let b_fall_slot = Array.make n_blocks no_slot in
     let b_fall_blk = Array.make n_blocks (-1) in
@@ -185,6 +187,7 @@ let build ~entry ~frag_at ~(ctrl : int -> ctrl) ~(alpha : int -> int)
       let s0 = b_start.(b) and fin = ends.(b) in
       for s = s0 to fin do
         b_alpha.(b) <- b_alpha.(b) + alpha s;
+        b_cyc.(b) <- b_cyc.(b) + cyc s;
         let c = cls s in
         b_cls.((b * n_classes) + c) <- b_cls.((b * n_classes) + c) + 1
       done;
@@ -216,6 +219,7 @@ let build ~entry ~frag_at ~(ctrl : int -> ctrl) ~(alpha : int -> int)
         b_start;
         b_len;
         b_alpha;
+        b_cyc;
         b_cls;
         b_fall_slot;
         b_fall_blk;

@@ -56,8 +56,11 @@ let c_lookup_misses = Obs.counter "tcache.lookup_misses"
 let c_slots_hw = Obs.max_gauge "tcache.slots_high_water"
 let c_frags_hw = Obs.max_gauge "tcache.frags_high_water"
 
+(* Top bound sized for 10-100x workload scales; the companion
+   [tcache.frag_slots.saturated] counter reports any residual clipping. *)
 let h_frag_slots =
-  Obs.histogram "tcache.frag_slots" ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512 |]
+  Obs.histogram "tcache.frag_slots"
+    ~bounds:[| 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048 |]
 
 let cat_index : Usage.category -> int = function
   | Temp -> 0

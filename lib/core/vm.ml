@@ -62,16 +62,19 @@ let sp_reentry = Obs.span "interp_reentry"
 let sp_flush = Obs.span "flush"
 
 (* [create] proper lives below with the snapshot machinery (the [?snapshot]
-   path needs the save/restore helpers); this builds the cold state. *)
-let create_cold ~cfg ~kind prog =
+   path needs the save/restore helpers); this builds the cold state.
+   [?annotate] is the fast-forward tier's static cycle annotator
+   (typically [Uarch.Fastfwd.annotate]), injected as a closure so [Core]
+   never links against the timing models. *)
+let create_cold ?annotate ~cfg ~kind prog =
   let interp = Alpha.Interp.create prog in
   let backend =
     match kind with
     | Acc ->
-      let ctx = Translate.create cfg in
+      let ctx = Translate.create ?annotate cfg in
       B_acc (ctx, Exec_acc.create ctx interp)
     | Straight_only ->
-      let ctx = Straighten.create cfg in
+      let ctx = Straighten.create ?annotate cfg in
       B_straight (ctx, Exec_straight.create ctx interp)
   in
   { cfg; prog; interp; backend; counters = Hashtbl.create 512; fuel = max_int;
@@ -492,7 +495,8 @@ let refill_vec v xs =
   Array.iter (Vec.push v) xs
 
 let build_cache ~slots ~frags ~peis ~exits ~slot_alpha ~slot_class
-    ~dispatch_slot ~unique_vpcs : _ Persist.Snapshot.cache =
+    ~slot_cyc_ooo ~slot_cyc_ildp ~dispatch_slot ~unique_vpcs :
+    _ Persist.Snapshot.cache =
   {
     slots;
     frags = Array.of_list (List.map conv_frag frags);
@@ -508,6 +512,8 @@ let build_cache ~slots ~frags ~peis ~exits ~slot_alpha ~slot_class
     exits = Array.map conv_exit (vec_to_array exits);
     slot_alpha = vec_to_array slot_alpha;
     slot_class = vec_to_array slot_class;
+    slot_cyc_ooo = vec_to_array slot_cyc_ooo;
+    slot_cyc_ildp = vec_to_array slot_cyc_ildp;
     dispatch_slot;
     unique_vpcs =
       Array.of_list
@@ -530,6 +536,7 @@ let save_snapshot t : Persist.Snapshot.t =
         (build_cache ~slots ~frags:(Tcache.Acc.fragments tc)
            ~peis:(Tcache.Acc.pei_list tc) ~exits:ctx.exits
            ~slot_alpha:ctx.slot_alpha ~slot_class:ctx.slot_class
+           ~slot_cyc_ooo:ctx.slot_cyc_ooo ~slot_cyc_ildp:ctx.slot_cyc_ildp
            ~dispatch_slot:ctx.dispatch_slot ~unique_vpcs:ctx.unique_vpcs)
     | B_straight (ctx, _) ->
       let tc = ctx.Straighten.tc in
@@ -542,6 +549,7 @@ let save_snapshot t : Persist.Snapshot.t =
         (build_cache ~slots ~frags:(Tcache.Straight.fragments tc)
            ~peis:(Tcache.Straight.pei_list tc) ~exits:ctx.exits
            ~slot_alpha:ctx.slot_alpha ~slot_class:ctx.slot_class
+           ~slot_cyc_ooo:ctx.slot_cyc_ooo ~slot_cyc_ildp:ctx.slot_cyc_ildp
            ~dispatch_slot:ctx.dispatch_slot ~unique_vpcs:ctx.unique_vpcs)
   in
   { fingerprint = fingerprint t; body }
@@ -560,6 +568,11 @@ let check_cache (c : _ Persist.Snapshot.cache) =
     reject "per-slot metadata (%d alpha, %d class) does not match %d slots"
       (Array.length c.slot_alpha)
       (Array.length c.slot_class)
+      n;
+  if Array.length c.slot_cyc_ooo <> n || Array.length c.slot_cyc_ildp <> n then
+    reject "per-slot cycle annotations (%d ooo, %d ildp) do not match %d slots"
+      (Array.length c.slot_cyc_ooo)
+      (Array.length c.slot_cyc_ildp)
       n;
   Array.iteri
     (fun i (f : Persist.Snapshot.frag) ->
@@ -637,6 +650,8 @@ let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
       refill_vec ctx.exits (Array.map unconv_exit c.exits);
       refill_vec ctx.slot_alpha c.slot_alpha;
       refill_vec ctx.slot_class c.slot_class;
+      refill_vec ctx.slot_cyc_ooo c.slot_cyc_ooo;
+      refill_vec ctx.slot_cyc_ildp c.slot_cyc_ildp;
       ctx.dispatch_slot <- c.dispatch_slot;
       Hashtbl.reset ctx.unique_vpcs;
       Array.iter (fun v -> Hashtbl.replace ctx.unique_vpcs v ()) c.unique_vpcs;
@@ -654,6 +669,8 @@ let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
       refill_vec ctx.exits (Array.map unconv_exit c.exits);
       refill_vec ctx.slot_alpha c.slot_alpha;
       refill_vec ctx.slot_class c.slot_class;
+      refill_vec ctx.slot_cyc_ooo c.slot_cyc_ooo;
+      refill_vec ctx.slot_cyc_ildp c.slot_cyc_ildp;
       ctx.dispatch_slot <- c.dispatch_slot;
       Hashtbl.reset ctx.unique_vpcs;
       Array.iter (fun v -> Hashtbl.replace ctx.unique_vpcs v ()) c.unique_vpcs;
@@ -675,8 +692,9 @@ let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
 
 (* [prewarm_top] bounds how many fragments get dispatch-table priority on
    a warm start; closure compilation covers every restored slot. *)
-let create ?(cfg = Config.default) ?snapshot ?(prewarm_top = 8) ~kind prog =
-  let t = create_cold ~cfg ~kind prog in
+let create ?(cfg = Config.default) ?annotate ?snapshot ?(prewarm_top = 8)
+    ~kind prog =
+  let t = create_cold ?annotate ~cfg ~kind prog in
   (match snapshot with
   | None -> ()
   | Some snap -> load_snapshot t ~prewarm_top snap);

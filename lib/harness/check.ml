@@ -11,6 +11,10 @@
      absolute MIPS never could; per-workload speedups still jitter with
      scheduling, which is why only the geomean is gated and individual
      deviations are reported as notes.
+   - "ildp-dbt-timing/*": re-runs the fast-forward timing sweep and gates
+     on accuracy — sampled-vs-full V-IPC error within the baseline's
+     recorded bound on every workload, and exact agreement with sampling
+     off — never on wall-clock speed.
    - "ildp-dbt-bench/*": structural check only — the experiment id set
      recorded in the baseline must equal the harness's current registry
      (catches silently dropped experiments). Wall-clock totals are
@@ -33,6 +37,43 @@ let failf ok lines fmt =
 
 let notef lines fmt = Printf.ksprintf (fun s -> lines := ("note " ^ s) :: !lines) fmt
 let okf lines fmt = Printf.ksprintf (fun s -> lines := ("ok   " ^ s) :: !lines) fmt
+
+(* ---- shared relative-tolerance gates ----
+
+   Every numeric gate in this file compares a current value against a
+   baseline as the relative deviation |current/baseline - 1| versus
+   [tol]. [rel_exceeds] is the per-row form (symmetric, note-only at the
+   call sites). [rel_direction] classifies the headline geomean, and the
+   gate built on it is deliberately asymmetric: falling below the
+   baseline by more than [tol] is a CI failure, while exceeding it is
+   only ever a note suggesting a baseline refresh — a result that got
+   *better* must never fail the build. Non-positive baselines never
+   gate. *)
+
+let rel_exceeds ~tol ~base current =
+  base > 0.0 && Float.abs ((current /. base) -. 1.0) > tol
+
+type direction = Below | Within | Above
+
+let rel_direction ~tol ~base current =
+  if base <= 0.0 then Within
+  else if current < base *. (1.0 -. tol) then Below
+  else if current > base *. (1.0 +. tol) then Above
+  else Within
+
+let gate_geomean ~ok ~lines ~tol ~what ~base current =
+  match rel_direction ~tol ~base current with
+  | Below ->
+    failf ok lines "%s regressed: %.3fx below baseline %.3fx by more than %.0f%%"
+      what current base (100.0 *. tol)
+  | Above ->
+    notef lines
+      "%s %.3fx exceeds baseline %.3fx by more than %.0f%%; consider \
+       refreshing the baseline"
+      what current base (100.0 *. tol)
+  | Within ->
+    okf lines "%s %.3fx within ±%.0f%% of baseline %.3fx" what current
+      (100.0 *. tol) base
 
 (* ---- exec-bench ---- *)
 
@@ -71,7 +112,7 @@ let check_exec ~tol doc (rows : Throughput.row list) =
               (String.concat "; " r.mismatches)
           else begin
             let s = Throughput.speedup r in
-            if b.b_speedup > 0.0 && Float.abs (s /. b.b_speedup -. 1.0) > tol then
+            if rel_exceeds ~tol ~base:b.b_speedup s then
               notef lines "%s: speedup %.2fx vs baseline %.2fx (>±%.0f%%)"
                 b.b_name s b.b_speedup (100.0 *. tol)
           end;
@@ -84,16 +125,7 @@ let check_exec ~tol doc (rows : Throughput.row list) =
           notef lines "%s: new workload, absent from baseline" r.name)
       rows;
     let gm = Runner.geomean (List.map Throughput.speedup rows) in
-    if base_gm > 0.0 && gm < base_gm *. (1.0 -. tol) then
-      failf ok lines "geomean speedup regressed: %.3fx < %.3fx - %.0f%%" gm
-        base_gm (100.0 *. tol)
-    else if base_gm > 0.0 && gm > base_gm *. (1.0 +. tol) then
-      notef lines
-        "geomean speedup %.3fx exceeds baseline %.3fx + %.0f%%; consider \
-         refreshing the baseline"
-        gm base_gm (100.0 *. tol)
-    else okf lines "geomean speedup %.3fx within ±%.0f%% of baseline %.3fx" gm
-        (100.0 *. tol) base_gm);
+    gate_geomean ~ok ~lines ~tol ~what:"geomean speedup" ~base:base_gm gm);
   { ok = !ok; lines = List.rev !lines }
 
 (* ---- region tier-up bench ---- *)
@@ -124,8 +156,7 @@ let check_region ~tol doc (rows : Throughput.region_row list) =
               (String.concat "; " r.rr_mismatches)
           else begin
             let s = Throughput.region_speedup r in
-            if b.b_speedup > 0.0 && Float.abs (s /. b.b_speedup -. 1.0) > tol
-            then
+            if rel_exceeds ~tol ~base:b.b_speedup s then
               notef lines "%s: speedup %.2fx vs baseline %.2fx (>±%.0f%%)"
                 b.b_name s b.b_speedup (100.0 *. tol)
           end;
@@ -138,17 +169,74 @@ let check_region ~tol doc (rows : Throughput.region_row list) =
           notef lines "%s: new workload, absent from baseline" r.rr_name)
       rows;
     let gm = Runner.geomean (List.map Throughput.region_speedup rows) in
-    if base_gm > 0.0 && gm < base_gm *. (1.0 -. tol) then
-      failf ok lines "geomean region speedup regressed: %.3fx < %.3fx - %.0f%%"
-        gm base_gm (100.0 *. tol)
-    else if base_gm > 0.0 && gm > base_gm *. (1.0 +. tol) then
-      notef lines
-        "geomean region speedup %.3fx exceeds baseline %.3fx + %.0f%%; \
-         consider refreshing the baseline"
-        gm base_gm (100.0 *. tol)
-    else
-      okf lines "geomean region speedup %.3fx within ±%.0f%% of baseline %.3fx"
-        gm (100.0 *. tol) base_gm);
+    gate_geomean ~ok ~lines ~tol ~what:"geomean region speedup" ~base:base_gm gm);
+  { ok = !ok; lines = List.rev !lines }
+
+(* ---- fast-forward timing bench ---- *)
+
+(* Gate for BENCH_timing.json: re-runs the fast-forward sweep and fails
+   on *accuracy*, not speed — every workload's sampled-vs-full V-IPC
+   error must stay within the baseline's recorded [err_bound], and the
+   interval=0 controller must agree with the wrapped model exactly (the
+   sampling-off lockstep invariant). Wall-clock speedup is compared
+   against the baseline as a note only. *)
+let check_timing ~tol doc (rows : Fastfwd_bench.row list) =
+  let module J = Obs.Json in
+  let ok = ref true and lines = ref [] in
+  let bound =
+    Option.value ~default:Fastfwd_bench.err_bound
+      (Option.bind (J.member "err_bound" doc) J.to_float)
+  in
+  (match Option.bind (J.member "workloads" doc) J.to_list with
+  | None | Some [] ->
+    failf ok lines "baseline: malformed timing document (no workloads)"
+  | Some base ->
+    List.iter
+      (fun b ->
+        let name =
+          Option.value ~default:"?" (Option.bind (J.member "name" b) J.to_str)
+        in
+        match
+          List.find_opt (fun (r : Fastfwd_bench.row) -> r.name = name) rows
+        with
+        | None -> failf ok lines "%s: in baseline but not in current sweep" name
+        | Some r ->
+          if r.mismatches <> [] then
+            failf ok lines "%s: sampled run diverged: %s" name
+              (String.concat "; " r.mismatches)
+          else begin
+            let e = Fastfwd_bench.err r in
+            if e > bound then
+              failf ok lines "%s: sampled V-IPC error %.1f%% exceeds %.0f%%"
+                name (100.0 *. e) (100.0 *. bound);
+            if not r.exact_ok then
+              failf ok lines
+                "%s: interval=0 cycle total diverged from full fidelity" name;
+            match Option.bind (J.member "speedup" b) J.to_float with
+            | Some bs when rel_exceeds ~tol ~base:bs (Fastfwd_bench.speedup r) ->
+              notef lines "%s: speedup %.2fx vs baseline %.2fx (>±%.0f%%)" name
+                (Fastfwd_bench.speedup r) bs (100.0 *. tol)
+            | _ -> ()
+          end;
+        match Option.bind (J.member "verified" b) J.to_bool with
+        | Some false ->
+          failf ok lines "%s: baseline itself is marked unverified" name
+        | Some true | None -> ())
+      base;
+    List.iter
+      (fun (r : Fastfwd_bench.row) ->
+        if
+          not
+            (List.exists
+               (fun b ->
+                 Option.bind (J.member "name" b) J.to_str = Some r.name)
+               base)
+        then notef lines "%s: new workload, absent from baseline" r.name)
+      rows;
+    if !ok then
+      okf lines "all %d workloads within %.0f%% sampled V-IPC error, exact at \
+                 interval=0"
+        (List.length rows) (100.0 *. bound));
   { ok = !ok; lines = List.rev !lines }
 
 (* ---- harness bench ---- *)
@@ -231,10 +319,10 @@ let check_persist doc =
 
 let prefixed p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
-(* Runs the appropriate check for [path]. [sweep] / [region_sweep] produce
-   the current throughput rows on demand (only the matching branch pays
-   for its sweep); [ids] is the current experiment registry. *)
-let run ~tol ~ids ~sweep ~region_sweep path =
+(* Runs the appropriate check for [path]. [sweep] / [region_sweep] /
+   [timing_sweep] produce the current rows on demand (only the matching
+   branch pays for its sweep); [ids] is the current experiment registry. *)
+let run ~tol ~ids ~sweep ~region_sweep ~timing_sweep path =
   match Obs.Json.parse_file path with
   | Error e -> { ok = false; lines = [ Printf.sprintf "FAIL %s: %s" path e ] }
   | Ok doc -> (
@@ -242,6 +330,8 @@ let run ~tol ~ids ~sweep ~region_sweep path =
     | Some s when prefixed "ildp-dbt-exec-bench/" s -> check_exec ~tol doc (sweep ())
     | Some s when prefixed "ildp-dbt-region/" s ->
       check_region ~tol doc (region_sweep ())
+    | Some s when prefixed "ildp-dbt-timing/" s ->
+      check_timing ~tol doc (timing_sweep ())
     | Some s when prefixed "ildp-dbt-bench/" s -> check_harness doc ~ids
     | Some s when prefixed "ildp-dbt-persist/" s -> check_persist doc
     | Some s -> { ok = false; lines = [ Printf.sprintf "FAIL unknown schema %S" s ] }

@@ -28,7 +28,11 @@ let mu = Mutex.create ()
 let c_names : (string, int) Hashtbl.t = Hashtbl.create 64
 let c_list : (string * kind) array ref = ref [||] (* index = handle *)
 let h_names : (string, int) Hashtbl.t = Hashtbl.create 16
-let h_list : (string * int array) array ref = ref [||]
+
+(* name, bucket bounds, and the id of the companion saturation counter
+   (bumped whenever a sample lands in the overflow bucket, so clipping at
+   the top bound is visible in the counter export rather than silent). *)
+let h_list : (string * int array * int) array ref = ref [||]
 let s_names : (string, int) Hashtbl.t = Hashtbl.create 16
 let s_list : string array ref = ref [||]
 
@@ -82,11 +86,14 @@ let histogram name ~bounds =
     !r
   in
   if not ok then invalid_arg "Obs.histogram: bounds must be increasing";
+  (* registered before taking the lock below: [register_counter] locks
+     [mu] itself and the mutex is not reentrant *)
+  let sat = register_counter Sum (name ^ ".saturated") in
   locked (fun () ->
       match Hashtbl.find_opt h_names name with
       | Some id -> id
       | None ->
-        let id = append h_list (name, Array.copy bounds) in
+        let id = append h_list (name, Array.copy bounds, sat) in
         Hashtbl.replace h_names name id;
         id)
 
@@ -137,14 +144,18 @@ let observe id v =
     end;
     (* the name tables are append-only and fully populated at module-init
        time, so this unlocked read sees a complete entry *)
-    let bounds = snd !h_list.(id) in
+    let _, bounds, sat = !h_list.(id) in
     if Array.length s.h.(id) = 0 then
       s.h.(id) <- Array.make (Array.length bounds + 1) 0;
     let b = ref 0 in
     while !b < Array.length bounds && bounds.(!b) < v do
       incr b
     done;
-    s.h.(id).(!b) <- s.h.(id).(!b) + 1
+    s.h.(id).(!b) <- s.h.(id).(!b) + 1;
+    if !b = Array.length bounds then begin
+      ensure_c s sat;
+      s.c.(sat) <- s.c.(sat) + 1
+    end
   end
 
 let with_span id f =
@@ -180,7 +191,7 @@ let collect () =
       let cl = !c_list and hl = !h_list and sl = !s_list in
       let cs = Array.make (Array.length cl) 0 in
       let hs =
-        Array.map (fun (_, b) -> Array.make (Array.length b + 1) 0) hl
+        Array.map (fun (_, b, _) -> Array.make (Array.length b + 1) 0) hl
       in
       let sn = Array.make (Array.length sl) 0 in
       let ss = Array.make (Array.length sl) 0.0 in
@@ -217,7 +228,7 @@ let collect () =
         histograms =
           sort_by_name
             (Array.to_list
-               (Array.mapi (fun i (n, b) -> (n, Array.copy b, hs.(i))) hl));
+               (Array.mapi (fun i (n, b, _) -> (n, Array.copy b, hs.(i))) hl));
         spans =
           sort_by_name
             (Array.to_list (Array.mapi (fun i n -> (n, sn.(i), ss.(i))) sl));

@@ -56,7 +56,10 @@ type histogram
 val histogram : string -> bounds:int array -> histogram
 (** Fixed buckets: a sample [v] lands in the first bucket whose bound is
     [>= v], or in the overflow bucket past the last bound. [bounds] must
-    be strictly increasing. *)
+    be strictly increasing. Registration also creates a companion
+    ["<name>.saturated"] sum counter, bumped once per overflow-bucket
+    sample, so top-bucket clipping is visible in the counter export
+    instead of silently flattening the distribution. *)
 
 val observe : histogram -> int -> unit
 

@@ -8,8 +8,12 @@ exception Error of string
 let magic = "ILDPSNAP"
 
 (* version 2: fingerprint gained the region tier-up knobs
-   (fp_region_threshold / fp_region_max_slots). *)
-let version = 2
+   (fp_region_threshold / fp_region_max_slots).
+   version 3: the cache gained per-slot static cycle annotations
+   (slot_cyc_ooo / slot_cyc_ildp) for the fast-forward timing tier —
+   annotation happens only at translation time, so a warm start must
+   carry the costs or restored fragments would execute unpriced. *)
+let version = 3
 
 type fingerprint = {
   fp_backend : string;
@@ -75,6 +79,8 @@ type 'insn cache = {
   exits : exit_reason array;
   slot_alpha : int array;
   slot_class : int array;
+  slot_cyc_ooo : int array;
+  slot_cyc_ildp : int array;
   dispatch_slot : int;
   unique_vpcs : int array;
 }
@@ -197,6 +203,8 @@ let put_cache w put_insn c =
   put_array w put_exit c.exits;
   put_array w B.int c.slot_alpha;
   put_array w B.int c.slot_class;
+  put_array w B.int c.slot_cyc_ooo;
+  put_array w B.int c.slot_cyc_ildp;
   B.int w c.dispatch_slot;
   put_array w B.int c.unique_vpcs
 
@@ -212,10 +220,12 @@ let get_cache r get_insn =
   let exits = get_array r get_exit in
   let slot_alpha = get_array r B.read_int in
   let slot_class = get_array r B.read_int in
+  let slot_cyc_ooo = get_array r B.read_int in
+  let slot_cyc_ildp = get_array r B.read_int in
   let dispatch_slot = B.read_int r in
   let unique_vpcs = get_array r B.read_int in
-  { slots; frags; peis; exits; slot_alpha; slot_class; dispatch_slot;
-    unique_vpcs }
+  { slots; frags; peis; exits; slot_alpha; slot_class; slot_cyc_ooo;
+    slot_cyc_ildp; dispatch_slot; unique_vpcs }
 
 let put_body w = function
   | B_acc c ->

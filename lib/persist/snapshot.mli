@@ -63,6 +63,10 @@ type 'insn cache = {
   exits : exit_reason array;
   slot_alpha : int array;
   slot_class : int array;
+  slot_cyc_ooo : int array;
+      (** per-slot static cycle cost under the wide OoO model *)
+  slot_cyc_ildp : int array;
+      (** per-slot static cycle cost under the ILDP model *)
   dispatch_slot : int;
   unique_vpcs : int array;  (** sorted, for deterministic encodings *)
 }

@@ -240,6 +240,34 @@ let feed t (ev : Ev.t) =
   | `Misfetch -> t.next_fetch_min <- max t.next_fetch_min (f + t.p.redirect)
   | `Mispredict -> t.next_fetch_min <- max t.next_fetch_min (complete + t.p.redirect)
 
+(* Functional warming (SMARTS-style): a sampling controller's fast window
+   skips the cycle simulation but must keep the long-lived history state —
+   I-cache, D-cache hierarchy, branch predictor, accumulator→PE steering
+   map — seeing every instruction, or the next detail window measures cold
+   state the reference run never has. No cycle counter moves here; only
+   structures whose contents persist across thousands of instructions. *)
+let warm t (ev : Ev.t) =
+  let line = ev.pc / t.p.icache_line in
+  if line <> t.last_line then begin
+    t.last_line <- line;
+    if not (Cache.access t.icache ev.pc) then
+      ignore (Cache.access t.dmem.Memhier.l2 ev.pc : bool)
+  end;
+  let pe =
+    if ev.acc < 0 then 0
+    else if ev.strand_start then begin
+      let pe = pick_pe t ev in
+      t.pe_of_acc.(ev.acc) <- pe;
+      pe
+    end
+    else t.pe_of_acc.(ev.acc)
+  in
+  (match ev.cls with
+  | Load -> ignore (Memhier.load t.dmem ~pe ev.ea : int)
+  | Store -> ignore (Memhier.store t.dmem ev.ea : int)
+  | Alu | Cond_br | Jump | Call | Ret | Mul -> ());
+  ignore (Pred.classify t.pred ev)
+
 (* Telemetry (cf. Ooo): drains live, totals folded in via [publish_obs]. *)
 let c_boundaries = Obs.counter "uarch.ildp.boundaries"
 let c_cycles = Obs.counter "uarch.ildp.cycles"

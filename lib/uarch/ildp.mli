@@ -59,6 +59,13 @@ type t = {
 
 val create : ?params:params -> ?use_ras:bool -> unit -> t
 val feed : t -> Machine.Ev.t -> unit
+
+val warm : t -> Machine.Ev.t -> unit
+(** Functional warming: update the long-lived history state (caches,
+    branch predictor, steering map) without simulating cycles. A sampling
+    controller calls this for fast-window instructions so detail windows
+    resume against warm state. *)
+
 val boundary : t -> unit
 val cycles : t -> int
 

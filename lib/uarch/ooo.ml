@@ -147,6 +147,22 @@ let feed t (ev : Ev.t) =
   | `Misfetch -> t.next_fetch_min <- max t.next_fetch_min (f + t.p.redirect)
   | `Mispredict -> t.next_fetch_min <- max t.next_fetch_min (complete + t.p.redirect))
 
+(* Functional warming (SMARTS-style): keep the long-lived history state —
+   caches, branch predictor — fed during a sampling controller's fast
+   window while the cycle simulation is skipped. See {!Ildp.warm}. *)
+let warm t (ev : Ev.t) =
+  let line = ev.pc / t.p.icache_line in
+  if line <> t.last_line then begin
+    t.last_line <- line;
+    if not (Cache.access t.icache ev.pc) then
+      ignore (Cache.access t.dmem.Memhier.l2 ev.pc : bool)
+  end;
+  (match ev.cls with
+  | Load -> ignore (Memhier.load t.dmem ~pe:0 ev.ea : int)
+  | Store -> ignore (Memhier.store t.dmem ev.ea : int)
+  | Alu | Cond_br | Jump | Call | Ret | Mul -> ());
+  ignore (Pred.classify t.pred ev)
+
 (* Telemetry: drain events are counted live (they are segment-rate), the
    cumulative totals are folded in once per run via [publish_obs]. *)
 let c_boundaries = Obs.counter "uarch.ooo.boundaries"

@@ -51,6 +51,10 @@ val create : ?params:params -> ?use_ras:bool -> unit -> t
 val feed : t -> Machine.Ev.t -> unit
 (** Charge one committed instruction. *)
 
+val warm : t -> Machine.Ev.t -> unit
+(** Functional warming: update caches and branch predictor without
+    simulating cycles (see {!Ildp.warm}). *)
+
 val boundary : t -> unit
 (** Mode-switch boundary: drain the pipeline (paper Section 4.1: "timing
     simulation starts with an initially empty pipeline"). *)

@@ -63,6 +63,26 @@ let test_histogram () =
   (* <=2: {1,2}; <=4: {3,4}; <=8: {}; overflow: {9,100} *)
   check (Alcotest.array Alcotest.int) "buckets" [| 2; 2; 0; 2 |] counts
 
+(* out-of-range observations land in the overflow bucket AND bump the
+   companion ".saturated" counter — never dropped silently (the fixed
+   satellite bug: values past the top bound used to vanish) *)
+let test_histogram_saturation () =
+  Obs.set_enabled true;
+  List.iter (Obs.observe h) [ 1; 8; 9; 100; 1_000_000 ];
+  let s = Obs.collect () in
+  let _, _, counts =
+    List.find (fun (n, _, _) -> n = "test.hist") s.Obs.histograms
+  in
+  check Alcotest.int "overflow bucket counts out-of-range" 3
+    counts.(Array.length counts - 1);
+  check Alcotest.int "saturation counter matches" 3
+    (get s "test.hist.saturated");
+  (* in-range observations never touch the saturation counter *)
+  Obs.reset ();
+  List.iter (Obs.observe h) [ 1; 2; 8 ];
+  check Alcotest.int "in-range leaves it at zero" 0
+    (get (Obs.collect ()) "test.hist.saturated")
+
 let test_spans () =
   Obs.set_enabled true;
   let r = Obs.with_span sp (fun () -> 40 + 2) in
@@ -390,6 +410,8 @@ let suite =
     Alcotest.test_case "counters sum and reset" `Quick (fresh test_counters);
     Alcotest.test_case "max gauge keeps high water" `Quick (fresh test_max_gauge);
     Alcotest.test_case "histogram bucketing" `Quick (fresh test_histogram);
+    Alcotest.test_case "histogram saturation counted" `Quick
+      (fresh test_histogram_saturation);
     Alcotest.test_case "spans time and count" `Quick (fresh test_spans);
     Alcotest.test_case "disabled is a no-op" `Quick (fresh test_disabled_is_noop);
     Alcotest.test_case "slabs merge across domains" `Quick (fresh test_domain_merge);

@@ -111,6 +111,10 @@ let test_roundtrip () =
     check Alcotest.bool "exits equal" true (a.exits = b.exits);
     check Alcotest.bool "slot_alpha equal" true (a.slot_alpha = b.slot_alpha);
     check Alcotest.bool "slot_class equal" true (a.slot_class = b.slot_class);
+    check Alcotest.bool "slot_cyc_ooo equal" true
+      (a.slot_cyc_ooo = b.slot_cyc_ooo);
+    check Alcotest.bool "slot_cyc_ildp equal" true
+      (a.slot_cyc_ildp = b.slot_cyc_ildp);
     check Alcotest.int "dispatch slot" a.dispatch_slot b.dispatch_slot;
     check Alcotest.bool "unique vpcs equal" true (a.unique_vpcs = b.unique_vpcs)
   | _ -> Alcotest.fail "backend tag changed in roundtrip");
@@ -130,6 +134,34 @@ let test_straight_roundtrip () =
   | Persist.Snapshot.B_straight a, Persist.Snapshot.B_straight b ->
     check Alcotest.bool "straight slots equal" true (a.slots = b.slots)
   | _ -> Alcotest.fail "expected straight bodies"
+
+(* Static cycle annotations (the fast-forward tier) travel with the
+   snapshot: a warm start from an annotated VM restores the per-slot
+   costs byte-for-byte instead of recomputing them. *)
+let test_annotations_roundtrip () =
+  let prog = prog_of_seed 3 in
+  let annotate evs = Uarch.Fastfwd.annotate evs in
+  let cfg = cfg_of base_mode in
+  let cold = Core.Vm.create ~cfg ~annotate ~kind:Core.Vm.Acc prog in
+  ignore (Core.Vm.run ~fuel:5_000_000 cold : Core.Vm.outcome);
+  let snap =
+    Persist.Snapshot.of_string
+      (Persist.Snapshot.to_string (Core.Vm.save_snapshot cold))
+  in
+  (match snap.body with
+  | Persist.Snapshot.B_acc c ->
+    check Alcotest.int "ooo annotations ops-parallel" (Array.length c.slots)
+      (Array.length c.slot_cyc_ooo);
+    check Alcotest.int "ildp annotations ops-parallel" (Array.length c.slots)
+      (Array.length c.slot_cyc_ildp);
+    check Alcotest.bool "some annotation positive" true
+      (Array.exists (fun x -> x > 0) c.slot_cyc_ildp)
+  | Persist.Snapshot.B_straight _ -> Alcotest.fail "expected acc body");
+  let warm = Core.Vm.create ~cfg ~annotate ~snapshot:snap ~kind:Core.Vm.Acc prog in
+  let vec_list v = List.init (Machine.Vec.length v) (Machine.Vec.get v) in
+  let cyc vm = vec_list (Option.get (Core.Vm.acc_ctx vm)).slot_cyc_ildp in
+  check Alcotest.bool "warm start restores annotations" true
+    (cyc warm = cyc cold)
 
 (* ---------- damage rejection ---------- *)
 
@@ -344,6 +376,8 @@ let suite =
     Alcotest.test_case "snapshot roundtrip (acc)" `Quick test_roundtrip;
     Alcotest.test_case "snapshot roundtrip (straight)" `Quick
       test_straight_roundtrip;
+    Alcotest.test_case "cycle annotations roundtrip" `Quick
+      test_annotations_roundtrip;
     Alcotest.test_case "bit flips rejected" `Quick test_corruption_rejected;
     Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
     Alcotest.test_case "framing damage rejected" `Quick test_framing_rejected;
