@@ -99,11 +99,11 @@ type report = {
 (* One seed under one mode; on divergence, minimize the block list with
    ddmin (the predicate re-runs the oracle on the rendered subset) and
    re-derive the report from the minimized program. *)
-let run_seed_mode ~granularity ~threaded ~region ~flush_every ~warm_start seed
-    mode (prog : Oracle.Gen.program) =
+let run_seed_mode ~granularity ~threaded ~region ~superops ~flush_every
+    ~warm_start seed mode (prog : Oracle.Gen.program) =
   let go blocks =
-    Oracle.Lockstep.run ~granularity ~threaded ~region ~flush_every ~warm_start
-      ~mode
+    Oracle.Lockstep.run ~granularity ~threaded ~region ~superops ~flush_every
+      ~warm_start ~mode
       (Oracle.Gen.assemble ~blocks prog)
   in
   match go prog.blocks with
@@ -132,8 +132,8 @@ let run_seed_mode ~granularity ~threaded ~region ~flush_every ~warm_start seed
       }
 
 (* A shard of contiguous seeds processed on one worker domain. *)
-let run_shard ~modes ~granularity ~threaded ~region ~flush_every ~warm_start
-    ~deadline seeds =
+let run_shard ~modes ~granularity ~threaded ~region ~superops ~flush_every
+    ~warm_start ~deadline seeds =
   let tot = totals_zero () in
   let reports = ref [] in
   let errors = ref [] in
@@ -153,8 +153,8 @@ let run_shard ~modes ~granularity ~threaded ~region ~flush_every ~warm_start
         List.iter
           (fun mode ->
             match
-              run_seed_mode ~granularity ~threaded ~region ~flush_every
-                ~warm_start seed mode prog
+              run_seed_mode ~granularity ~threaded ~region ~superops
+                ~flush_every ~warm_start seed mode prog
             with
             | Ok c -> add_cov tot c
             | Error r -> reports := r :: !reports
@@ -183,12 +183,13 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~region
-    ~warm_start ~tot ~reports ~errors =
+    ~superops ~warm_start ~tot ~reports ~errors =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"ildp-dbt-fuzz/1\",\n";
   p "  \"engine\": \"%s\",\n"
-    (if region then "region"
+    (if superops then "superop"
+     else if region then "region"
      else if threaded then "threaded"
      else "instrumented");
   p "  \"warm_start\": %b,\n" warm_start;
@@ -238,7 +239,7 @@ let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~region
   p "}\n"
 
 let run count seed minutes jobs modes_arg flush_every per_insn threaded region
-    warm_start json_path quiet =
+    superops warm_start json_path quiet =
   let modes =
     if modes_arg = "all" then Oracle.Lockstep.all_modes
     else
@@ -274,7 +275,7 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded region
         Array.to_list shards
         |> List.map (fun shard ->
                Harness.Pool.submit pool (fun () ->
-                   run_shard ~modes ~granularity ~threaded ~region
+                   run_shard ~modes ~granularity ~threaded ~region ~superops
                      ~flush_every ~warm_start ~deadline (List.rev shard)))
         |> List.map (Harness.Pool.await))
   in
@@ -308,7 +309,7 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded region
   end;
   let emit oc =
     write_json oc ~programs:!programs ~seed ~count ~jobs ~modes ~threaded
-      ~region ~warm_start ~tot ~reports ~errors:!errors
+      ~region ~superops ~warm_start ~tot ~reports ~errors:!errors
   in
   (match json_path with
   | "-" -> emit stdout
@@ -358,6 +359,14 @@ let cmd =
                  compilation, bulk accounting, and invalidation (implies \
                  the sink-less setup of --threaded).")
   in
+  let superops =
+    Arg.(value & flag & info [ "superops" ]
+           ~doc:"Run the VM sink-less under the region engine with superop \
+                 block fusion on, validating the fused-closure tier — \
+                 specialized block bodies, idiom-template arms, mid-block \
+                 fault unwinds — against the golden interpreter (implies \
+                 --region).")
+  in
   let warm_start =
     Arg.(value & flag & info [ "warm-start" ]
            ~doc:"Save-load-rerun roundtrip: every run first executes cold, \
@@ -377,6 +386,6 @@ let cmd =
        ~doc:"Differential fuzzing of the DBT against the Alpha interpreter")
     Term.(
       const run $ count $ seed $ minutes $ jobs $ modes $ flush_every
-      $ per_insn $ threaded $ region $ warm_start $ json $ quiet)
+      $ per_insn $ threaded $ region $ superops $ warm_start $ json $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -53,6 +53,12 @@ type t = {
      region (engine = Region only) *)
   region_max_slots : int;
   (* upper bound on total cache slots gathered into one region *)
+  superops : bool;
+  (* third compilation tier (engine = Region only): when a region is
+     promoted, fuse each basic block's slot chain into one specialized
+     closure — no per-slot indirect calls — applying profile-mined idiom
+     templates (see {!Superop}). Observationally identical to the
+     unfused region tier; default on. *)
 }
 
 let default =
@@ -67,6 +73,7 @@ let default =
     engine = Threaded;
     region_threshold = 100;
     region_max_slots = 1024;
+    superops = true;
   }
 
 (* Process-wide telemetry switch (an alias of [Obs.enabled], so flipping
@@ -106,5 +113,6 @@ let fingerprint cfg ~backend ~image_digest : Persist.Snapshot.fingerprint =
     fp_fuse_mem = cfg.fuse_mem;
     fp_region_threshold = cfg.region_threshold;
     fp_region_max_slots = cfg.region_max_slots;
+    fp_superops = cfg.superops;
     fp_image_digest = image_digest;
   }

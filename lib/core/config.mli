@@ -49,6 +49,11 @@ type t = {
   region_max_slots : int;
       (** upper bound on total cache slots per region (default 1024);
           successors are also bounded by a fixed guest-address window. *)
+  superops : bool;
+      (** third compilation tier (under [engine = Region]): fuse each
+          promoted block's slot chain into one specialized closure with
+          profile-mined idiom templates (see {!Superop}). Observationally
+          identical to the unfused region tier; default on. *)
 }
 
 val default : t

@@ -1,0 +1,648 @@
+(* Superop tier: profile-mined idiom tables for block fusion.
+
+   The region tier (lib/core/region.ml) removed the trampoline between
+   slots but still pays one indirect OCaml call per cache slot inside a
+   block. The superop tier collapses whole basic blocks into single
+   specialized closures; on top of the generic straight-line fusion the
+   engines apply hand-specialized templates to multi-slot idioms
+   (load-op-store chains, address-computation ladders, compare+branch
+   pairs).
+
+   Which idioms deserve a template is not guessed: this module mines the
+   per-fragment execution-count profiles for recurring slot-shape n-grams
+   and ranks them by dynamic weight. At fuse time the ranked table steers
+   segmentation — windows matching a mined idiom claim fusion first, and
+   the remaining slots fall back to generic straight-line arms — and is
+   persisted in the snapshot (format v4), so a warm start fuses with the
+   profile's idioms immediately instead of re-deriving them from a cold
+   cache.
+
+   Like {!Region}, this module is engine-independent: the engines map
+   their cache slots onto the small {!shape} alphabet below (losing
+   operand identity but keeping operation class and operand kinds) and
+   keep the actual closure templates to themselves. *)
+
+(* Operation class of an ALU slot. Coarser than {!Alpha.Insn.op3}: idiom
+   mining needs "address add", "compare", "shift" — the template picked at
+   fuse time re-specializes on the concrete operator anyway. *)
+type aluk = A_add | A_logic | A_shift | A_cmp | A_mul | A_other
+
+(* Shape of one cache slot, the n-gram alphabet. [Sh_alu]'s second field
+   is the operand-kind mask: bit 0 set when operand b is a compile-time
+   constant, bit 1 likewise for operand a — `addq acc, #8` and
+   `addq acc, gpr` are different idioms with different templates. *)
+type shape =
+  | Sh_alu of aluk * int
+  | Sh_move (* register/accumulator copies, load-target-address *)
+  | Sh_cmov (* conditional-move test or select *)
+  | Sh_load of int * bool (* width in bytes, signed *)
+  | Sh_store of int (* width in bytes *)
+  | Sh_bc (* conditional branch *)
+  | Sh_ctl (* any other control slot (br, jmp, ret, exit) *)
+  | Sh_misc (* remaining sequential slots (vbase, dual-RAS push) *)
+
+let aluk_code = function
+  | A_add -> 0
+  | A_logic -> 1
+  | A_shift -> 2
+  | A_cmp -> 3
+  | A_mul -> 4
+  | A_other -> 5
+
+let aluk_of_code = function
+  | 0 -> Some A_add
+  | 1 -> Some A_logic
+  | 2 -> Some A_shift
+  | 3 -> Some A_cmp
+  | 4 -> Some A_mul
+  | 5 -> Some A_other
+  | _ -> None
+
+let aluk_of_op3 (op : Alpha.Insn.op3) =
+  match op with
+  | Addl | Addq | Subl | Subq | S4addl | S4addq | S8addl | S8addq | S4subl
+  | S4subq | S8subl | S8subq ->
+    A_add
+  | And_ | Bic | Bis | Ornot | Xor | Eqv -> A_logic
+  | Sll | Srl | Sra | Extbl | Extwl | Extll | Extql | Extwh | Extlh | Extqh
+  | Insbl | Inswl | Insll | Insql | Mskbl | Mskwl | Mskll | Mskql | Zap
+  | Zapnot | Sextb | Sextw ->
+    A_shift
+  | Cmpeq | Cmplt | Cmple | Cmpult | Cmpule | Cmpbge -> A_cmp
+  | Mull | Mulq | Umulh -> A_mul
+  | Ctpop | Ctlz | Cttz | Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt
+  | Cmovlbs | Cmovlbc ->
+    A_other
+
+let width_code = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> -1
+let width_of_code = function 0 -> 1 | 1 -> 2 | 2 -> 4 | 3 -> 8 | _ -> -1
+
+(* Stable integer coding, the persisted form. Every code fits 6 bits so a
+   4-gram packs into one int key. *)
+let to_code = function
+  | Sh_alu (k, m) -> (aluk_code k * 4) + (m land 3)
+  | Sh_move -> 32
+  | Sh_cmov -> 33
+  | Sh_load (w, signed) ->
+    let wc = width_code w in
+    if wc < 0 then invalid_arg "Superop.to_code: bad load width";
+    40 + (wc * 2) + (if signed then 1 else 0)
+  | Sh_store w ->
+    let wc = width_code w in
+    if wc < 0 then invalid_arg "Superop.to_code: bad store width";
+    48 + wc
+  | Sh_bc -> 56
+  | Sh_ctl -> 57
+  | Sh_misc -> 58
+
+let of_code c =
+  if c >= 0 && c < 24 then
+    match aluk_of_code (c / 4) with
+    | Some k -> Some (Sh_alu (k, c land 3))
+    | None -> None
+  else if c = 32 then Some Sh_move
+  else if c = 33 then Some Sh_cmov
+  else if c >= 40 && c < 48 then
+    Some (Sh_load (width_of_code ((c - 40) / 2), (c - 40) land 1 = 1))
+  else if c >= 48 && c < 52 then Some (Sh_store (width_of_code (c - 48)))
+  else if c = 56 then Some Sh_bc
+  else if c = 57 then Some Sh_ctl
+  else if c = 58 then Some Sh_misc
+  else None
+
+let shape_name = function
+  | Sh_alu (k, m) ->
+    let kn =
+      match k with
+      | A_add -> "add"
+      | A_logic -> "logic"
+      | A_shift -> "shift"
+      | A_cmp -> "cmp"
+      | A_mul -> "mul"
+      | A_other -> "alu?"
+    in
+    let oper i = if m land i <> 0 then "#" else "r" in
+    Printf.sprintf "%s.%s%s" kn (oper 2) (oper 1)
+  | Sh_move -> "mov"
+  | Sh_cmov -> "cmov"
+  | Sh_load (w, signed) -> Printf.sprintf "ld%d%s" w (if signed then "s" else "")
+  | Sh_store w -> Printf.sprintf "st%d" w
+  | Sh_bc -> "bc"
+  | Sh_ctl -> "ctl"
+  | Sh_misc -> "misc"
+
+let pattern_name p = String.concat ";" (Array.to_list (Array.map shape_name p))
+
+(* ---------- n-gram mining ---------- *)
+
+type idiom = { pattern : shape array; weight : int }
+type table = idiom array
+
+let max_gram = 4
+
+(* One int key per n-gram: 6 bits per shape code, length disambiguated by
+   a leading 1 marker bit. *)
+let key_of (p : shape array) ~pos ~len =
+  let k = ref 1 in
+  for i = pos to pos + len - 1 do
+    k := (!k * 64) + to_code p.(i)
+  done;
+  !k
+
+(* Mine the ranked idiom table from per-fragment profiles: every
+   contiguous shape window of length 2..[max_n] inside a fragment counts
+   its fragment's execution weight (windows never span fragments —
+   neither does a fused block). Ranking is fully deterministic: dynamic
+   weight descending, then longer patterns first (so [longest_match]
+   prefers them at equal evidence), then code-lexicographic. Windows
+   containing non-fusable shapes ([Sh_ctl] anywhere but last, [Sh_misc]
+   anywhere) are skipped — no template could ever fire on them. *)
+let mine ?(max_n = max_gram) ?(top = 32) (profiles : (shape array * int) list) :
+    table =
+  let max_n = max 2 (min max_n max_gram) in
+  let weights : (int, int ref) Hashtbl.t = Hashtbl.create 256 in
+  let patterns : (int, shape array) Hashtbl.t = Hashtbl.create 256 in
+  let fusable ~last = function
+    | Sh_misc -> false
+    | Sh_ctl -> false
+    | Sh_bc -> last
+    | _ -> true
+  in
+  List.iter
+    (fun (shapes, w) ->
+      if w > 0 then
+        let n = Array.length shapes in
+        for pos = 0 to n - 2 do
+          let len = ref 2 in
+          while !len <= max_n && pos + !len <= n do
+            let l = !len in
+            let ok = ref true in
+            for i = pos to pos + l - 1 do
+              if not (fusable ~last:(i = pos + l - 1) shapes.(i)) then
+                ok := false
+            done;
+            if !ok then begin
+              let key = key_of shapes ~pos ~len:l in
+              match Hashtbl.find_opt weights key with
+              | Some r -> r := !r + w
+              | None ->
+                Hashtbl.replace weights key (ref w);
+                Hashtbl.replace patterns key (Array.sub shapes pos l)
+            end;
+            incr len
+          done
+        done)
+    profiles;
+  let all =
+    Hashtbl.fold
+      (fun key w acc ->
+        { pattern = Hashtbl.find patterns key; weight = !w } :: acc)
+      weights []
+  in
+  let codes i = Array.to_list (Array.map to_code i.pattern) in
+  let ranked =
+    List.sort
+      (fun a b ->
+        let c = compare b.weight a.weight in
+        if c <> 0 then c
+        else
+          let c = compare (Array.length b.pattern) (Array.length a.pattern) in
+          if c <> 0 then c else compare (codes a) (codes b))
+      all
+  in
+  Array.of_list (List.filteri (fun i _ -> i < top) ranked)
+
+(* ---------- fuse-time lookup ---------- *)
+
+let pattern_matches (p : shape array) (shapes : shape array) ~pos =
+  let len = Array.length p in
+  pos + len <= Array.length shapes
+  &&
+  let rec go i = i >= len || (p.(i) = shapes.(pos + i) && go (i + 1)) in
+  go 0
+
+let enabled (tbl : table) (shapes : shape array) ~pos ~len =
+  Array.exists
+    (fun i -> Array.length i.pattern = len && pattern_matches i.pattern shapes ~pos)
+    tbl
+
+(* Longest enabled idiom starting at [pos], capped to [max_len]; 0 when
+   no mined idiom matches there. *)
+let longest_match (tbl : table) (shapes : shape array) ~pos ~max_len =
+  let best = ref 0 in
+  Array.iter
+    (fun i ->
+      let len = Array.length i.pattern in
+      if len > !best && len <= max_len && pattern_matches i.pattern shapes ~pos
+      then best := len)
+    tbl;
+  !best
+
+(* ---------- persistence (snapshot format v4) ---------- *)
+
+let encode_table (tbl : table) : (int array * int) array =
+  Array.map (fun i -> (Array.map to_code i.pattern, i.weight)) tbl
+
+(* [None] on any malformed row: unknown shape code, pattern length outside
+   [2, max_gram], or a negative weight — the snapshot loader turns that
+   into a clean rejection rather than fusing garbage. *)
+let decode_table (rows : (int array * int) array) : table option =
+  let decode_row (codes, weight) =
+    let len = Array.length codes in
+    if len < 2 || len > max_gram || weight < 0 then None
+    else
+      let shapes = Array.map of_code codes in
+      if Array.exists Option.is_none shapes then None
+      else Some { pattern = Array.map Option.get shapes; weight }
+  in
+  let rows = Array.map decode_row rows in
+  if Array.exists Option.is_none rows then None
+  else Some (Array.map Option.get rows)
+
+let pp fmt (tbl : table) =
+  Array.iteri
+    (fun i idm ->
+      Format.fprintf fmt "%2d. %-28s weight %d@." (i + 1)
+        (pattern_name idm.pattern) idm.weight)
+    tbl
+
+(* ---------- fused-segment machinery ----------
+
+   Shared by both engines. A fused block is one closure built from
+   normalized micro-operations: at fuse time every source and destination
+   is resolved to a concrete array cell, constants become one-element
+   cells, and the per-slot compiled closures disappear. The engine
+   supplies the micros, the per-slot fault handlers (which fold the
+   block's bulk-statistics refund into one specialized unwind) and the
+   terminal; this module supplies the planner and the closure templates.
+
+   The micro records are engine-agnostic on purpose: an accumulator write
+   is "store value, clear predicate, echo to a GPR cell", with per-leg
+   write flags resolved at fuse time — the straightened backend simply
+   clears the predicate/echo flags, making one template set serve both
+   executors without paying for legs it does not have. *)
+
+(* Normalized ALU/move micro: v = f a b (or v = a when [u_mov]); then
+   dst <- v; pred <- false when [u_wp]; echo <- v when [u_we]. Dead legs
+   still point at sink cells, but the write flags let the step skip them
+   entirely — an [int64 array] store is a pointer store with a write
+   barrier, so a dead echo write is far from free. *)
+type ualu = {
+  u_mov : bool;
+  u_f : int64 -> int64 -> int64; (* unused when [u_mov] *)
+  u_xa : int64 array;
+  u_ia : int;
+  u_xb : int64 array;
+  u_ib : int;
+  u_xd : int64 array;
+  u_id : int;
+  u_wp : bool;
+  u_xp : bool array;
+  u_ip : int;
+  u_we : bool;
+  u_xe : int64 array;
+  u_ie : int;
+}
+
+(* Normalized load: addr = (base + disp) & addr-space mask, alignment
+   checked against [l_amask], then the same triple write as [ualu]. *)
+type uld = {
+  l_ld : Machine.Memory.t -> int -> int64;
+  l_amask : int;
+  l_xb : int64 array;
+  l_ib : int;
+  l_disp : int;
+  l_mem : Machine.Memory.t;
+  l_xd : int64 array;
+  l_id : int;
+  l_wp : bool;
+  l_xp : bool array;
+  l_ip : int;
+  l_we : bool;
+  l_xe : int64 array;
+  l_ie : int;
+}
+
+(* Normalized store. *)
+type ust = {
+  s_st : Machine.Memory.t -> int -> int64 -> unit;
+  s_amask : int;
+  s_xv : int64 array;
+  s_iv : int;
+  s_xb : int64 array;
+  s_ib : int;
+  s_disp : int;
+  s_mem : Machine.Memory.t;
+}
+
+(* One cache slot inside a fused block: a normalized micro, or the slot's
+   ordinary compiled closure when no normalization exists (cmov,
+   dual-RAS push, vbase). ['t] is the engine state threaded through
+   compiled ops. *)
+type 't micro = M_alu of ualu | M_ld of uld | M_st of ust | M_op of ('t -> int)
+
+(* Guest address-space mask, shared with the engines' compiled ops. *)
+let addr_mask = (1 lsl 46) - 1
+
+let[@inline] alu_step (u : ualu) =
+  let a = Array.unsafe_get u.u_xa u.u_ia in
+  let v = if u.u_mov then a else u.u_f a (Array.unsafe_get u.u_xb u.u_ib) in
+  Array.unsafe_set u.u_xd u.u_id v;
+  if u.u_wp then Array.unsafe_set u.u_xp u.u_ip false;
+  if u.u_we then Array.unsafe_set u.u_xe u.u_ie v
+
+(* Memory steps signal both misalignment and unmapped addresses as
+   {!Machine.Memory.Fault}; the templates route either to the slot's
+   specialized fault handler. *)
+let[@inline] ld_step (l : uld) =
+  let addr =
+    (Int64.to_int (Array.unsafe_get l.l_xb l.l_ib) + l.l_disp) land addr_mask
+  in
+  if addr land l.l_amask <> 0 then raise (Machine.Memory.Fault addr);
+  let v = l.l_ld l.l_mem addr in
+  Array.unsafe_set l.l_xd l.l_id v;
+  if l.l_wp then Array.unsafe_set l.l_xp l.l_ip false;
+  if l.l_we then Array.unsafe_set l.l_xe l.l_ie v
+
+let[@inline] st_step (s : ust) =
+  let addr =
+    (Int64.to_int (Array.unsafe_get s.s_xb s.s_ib) + s.s_disp) land addr_mask
+  in
+  if addr land s.s_amask <> 0 then raise (Machine.Memory.Fault addr);
+  s.s_st s.s_mem addr (Array.unsafe_get s.s_xv s.s_iv)
+
+(* ---------- closure templates ----------
+
+   Single-micro segments (always applied — straight-line fusion needs no
+   profile evidence) and multi-micro idiom arms, gated by the mined
+   table. Kind strings: R = alu/move, L = load, S = store, O = fallback.
+   Each arm tail-calls its continuation [k]. *)
+
+let s_r u k t =
+  alu_step u;
+  k t
+
+let s_l l fh k t =
+  match ld_step l with
+  | () -> k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+let s_s s fh k t =
+  match st_step s with
+  | () -> k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+(* Fallback: run the slot's ordinary compiled closure. Anything but
+   fall-through means the op trapped or exited after refunding its own
+   slot; the engine-supplied [unw] takes back the never-executed suffix
+   and the code escapes to the fused driver's dispatch. *)
+let s_o sop nx unw k t =
+  let n = sop t in
+  if n = nx then k t
+  else begin
+    unw t;
+    n
+  end
+
+let s_rr u1 u2 k t =
+  alu_step u1;
+  alu_step u2;
+  k t
+
+let s_rrr u1 u2 u3 k t =
+  alu_step u1;
+  alu_step u2;
+  alu_step u3;
+  k t
+
+let s_rrrr u1 u2 u3 u4 k t =
+  alu_step u1;
+  alu_step u2;
+  alu_step u3;
+  alu_step u4;
+  k t
+
+(* Pure ALU/move runs beyond the mining window — address-computation
+   ladders routinely run 5-8 slots, and a run of [R]s can never fault, so
+   fusing past [max_gram] costs nothing in unwind complexity. *)
+let s_r5 u1 u2 u3 u4 u5 k t =
+  alu_step u1;
+  alu_step u2;
+  alu_step u3;
+  alu_step u4;
+  alu_step u5;
+  k t
+
+let s_r6 u1 u2 u3 u4 u5 u6 k t =
+  alu_step u1;
+  alu_step u2;
+  alu_step u3;
+  alu_step u4;
+  alu_step u5;
+  alu_step u6;
+  k t
+
+let s_r7 u1 u2 u3 u4 u5 u6 u7 k t =
+  alu_step u1;
+  alu_step u2;
+  alu_step u3;
+  alu_step u4;
+  alu_step u5;
+  alu_step u6;
+  alu_step u7;
+  k t
+
+let s_r8 u1 u2 u3 u4 u5 u6 u7 u8 k t =
+  alu_step u1;
+  alu_step u2;
+  alu_step u3;
+  alu_step u4;
+  alu_step u5;
+  alu_step u6;
+  alu_step u7;
+  alu_step u8;
+  k t
+
+let s_lr l u fh k t =
+  match ld_step l with
+  | () ->
+    alu_step u;
+    k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+let s_rl u l fh k t =
+  alu_step u;
+  match ld_step l with
+  | () -> k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+let s_rs u s fh k t =
+  alu_step u;
+  match st_step s with
+  | () -> k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+let s_sr s u fh k t =
+  match st_step s with
+  | () ->
+    alu_step u;
+    k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+let s_ls l s fhl fhs k t =
+  match ld_step l with
+  | exception Machine.Memory.Fault _ -> fhl t
+  | () -> (
+    match st_step s with
+    | () -> k t
+    | exception Machine.Memory.Fault _ -> fhs t)
+
+let s_rrs u1 u2 s fh k t =
+  alu_step u1;
+  alu_step u2;
+  match st_step s with
+  | () -> k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+let s_rrl u1 u2 l fh k t =
+  alu_step u1;
+  alu_step u2;
+  match ld_step l with
+  | () -> k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+let s_lrr l u1 u2 fh k t =
+  match ld_step l with
+  | () ->
+    alu_step u1;
+    alu_step u2;
+    k t
+  | exception Machine.Memory.Fault _ -> fh t
+
+let s_lrs l u s fhl fhs k t =
+  match ld_step l with
+  | exception Machine.Memory.Fault _ -> fhl t
+  | () -> (
+    alu_step u;
+    match st_step s with
+    | () -> k t
+    | exception Machine.Memory.Fault _ -> fhs t)
+
+let s_rls u l s fhl fhs k t =
+  alu_step u;
+  match ld_step l with
+  | exception Machine.Memory.Fault _ -> fhl t
+  | () -> (
+    match st_step s with
+    | () -> k t
+    | exception Machine.Memory.Fault _ -> fhs t)
+
+(* ---------- segment planner and chain emitter ---------- *)
+
+let kind_of = function M_alu _ -> 'R' | M_ld _ -> 'L' | M_st _ -> 'S' | M_op _ -> 'O'
+
+(* Kind strings with a hand-specialized multi-micro arm. Pure-[R] runs
+   extend past [max_gram]: they cannot fault, so long ALU ladders fuse
+   whole without any extra unwind machinery. *)
+let arm_kinds =
+  [ "RR"; "RRR"; "RRRR"; "RRRRR"; "RRRRRR"; "RRRRRRR"; "RRRRRRRR"; "LR";
+    "RL"; "RS"; "SR"; "LS"; "RRS"; "RRL"; "LRR"; "LRS"; "RLS" ]
+
+(* Longest implemented arm of any kind (the pure-[R] ladder). *)
+let max_arm = 8
+
+let has_arm ks = List.mem ks arm_kinds
+
+let kinds_at (micros : 't micro array) off len =
+  String.init len (fun j -> kind_of micros.(off + j))
+
+(* Greedy forward segmentation of the block's mid-slots. At each offset
+   prefer the longest window that both matches a mined idiom and has an
+   implemented arm — profile-hot shapes claim fusion first — and fall
+   back to the longest window with an implemented arm, so straight-line
+   runs still fuse when the miner has not seen their shape. Else a
+   single-micro segment. Returns (offset, length) pairs in block
+   order. *)
+let plan (tbl : table) (shapes : shape array) (micros : 't micro array)
+    ~mids_end =
+  let pick i =
+    let room = mids_end - i in
+    let rec mined l =
+      if l < 2 then 0
+      else if enabled tbl shapes ~pos:i ~len:l && has_arm (kinds_at micros i l)
+      then l
+      else mined (l - 1)
+    in
+    match mined (min max_gram room) with
+    | 0 ->
+      let rec armed l =
+        if l < 2 then 1
+        else if has_arm (kinds_at micros i l) then l
+        else armed (l - 1)
+      in
+      armed (min max_arm room)
+    | l -> l
+  in
+  let rec go i acc =
+    if i >= mids_end then List.rev acc
+    else
+      let l = pick i in
+      go (i + l) ((i, l) :: acc)
+  in
+  go 0 []
+
+let emit_one (m : 't micro) fh nx unw k =
+  match m with
+  | M_alu u -> s_r u k
+  | M_ld l -> s_l l fh k
+  | M_st s -> s_s s fh k
+  | M_op sop -> s_o sop nx unw k
+
+let emit_arm (micros : 't micro array) off ks (fh : int -> 't -> int) k =
+  let u j = match micros.(off + j) with M_alu u -> u | _ -> assert false in
+  let ld j = match micros.(off + j) with M_ld l -> l | _ -> assert false in
+  let st j = match micros.(off + j) with M_st s -> s | _ -> assert false in
+  match ks with
+  | "RR" -> s_rr (u 0) (u 1) k
+  | "RRR" -> s_rrr (u 0) (u 1) (u 2) k
+  | "RRRR" -> s_rrrr (u 0) (u 1) (u 2) (u 3) k
+  | "RRRRR" -> s_r5 (u 0) (u 1) (u 2) (u 3) (u 4) k
+  | "RRRRRR" -> s_r6 (u 0) (u 1) (u 2) (u 3) (u 4) (u 5) k
+  | "RRRRRRR" -> s_r7 (u 0) (u 1) (u 2) (u 3) (u 4) (u 5) (u 6) k
+  | "RRRRRRRR" -> s_r8 (u 0) (u 1) (u 2) (u 3) (u 4) (u 5) (u 6) (u 7) k
+  | "LR" -> s_lr (ld 0) (u 1) (fh off) k
+  | "RL" -> s_rl (u 0) (ld 1) (fh (off + 1)) k
+  | "RS" -> s_rs (u 0) (st 1) (fh (off + 1)) k
+  | "SR" -> s_sr (st 0) (u 1) (fh off) k
+  | "LS" -> s_ls (ld 0) (st 1) (fh off) (fh (off + 1)) k
+  | "RRS" -> s_rrs (u 0) (u 1) (st 2) (fh (off + 2)) k
+  | "RRL" -> s_rrl (u 0) (u 1) (ld 2) (fh (off + 2)) k
+  | "LRR" -> s_lrr (ld 0) (u 1) (u 2) (fh off) k
+  | "LRS" -> s_lrs (ld 0) (u 1) (st 2) (fh off) (fh (off + 2)) k
+  | "RLS" -> s_rls (u 0) (ld 1) (st 2) (fh (off + 1)) (fh (off + 2)) k
+  | _ -> assert false
+
+(* Build the fused body for mid-slots [0, mids_end) ending in [term]:
+   plan the segmentation, then emit back-to-front so every segment
+   captures its continuation directly. [fh i] / [unw i] are the
+   engine's specialized fault handler / suffix unwind for the slot at
+   block offset [i]; [next_of i] is that slot's fall-through slot index.
+   Returns the chain head plus the number of idiom arms applied. *)
+let fuse_segments (tbl : table) (shapes : shape array)
+    (micros : 't micro array) ~mids_end ~(next_of : int -> int)
+    ~(fh : int -> 't -> int) ~(unw : int -> 't -> unit) ~(term : 't -> int) =
+  let segs = plan tbl shapes micros ~mids_end in
+  let hits =
+    List.length
+      (List.filter
+         (fun (off, l) -> l > 1 && enabled tbl shapes ~pos:off ~len:l)
+         segs)
+  in
+  let body =
+    List.fold_left
+      (fun k (off, l) ->
+        if l = 1 then emit_one micros.(off) (fh off) (next_of off) (unw off) k
+        else emit_arm micros off (kinds_at micros off l) fh k)
+      term (List.rev segs)
+  in
+  (body, hits)

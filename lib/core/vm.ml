@@ -333,6 +333,11 @@ let region_count t =
   | B_acc (_, ex) -> Exec_acc.region_count ex
   | B_straight (_, ex) -> Exec_straight.region_count ex
 
+let fused_block_count t =
+  match t.backend with
+  | B_acc (_, ex) -> Exec_acc.fused_block_count ex
+  | B_straight (_, ex) -> Exec_straight.fused_block_count ex
+
 let acc_ctx t =
   match t.backend with B_acc (ctx, _) -> Some ctx | B_straight _ -> None
 
@@ -495,7 +500,7 @@ let refill_vec v xs =
   Array.iter (Vec.push v) xs
 
 let build_cache ~slots ~frags ~peis ~exits ~slot_alpha ~slot_class
-    ~slot_cyc_ooo ~slot_cyc_ildp ~dispatch_slot ~unique_vpcs :
+    ~slot_cyc_ooo ~slot_cyc_ildp ~dispatch_slot ~unique_vpcs ~idioms :
     _ Persist.Snapshot.cache =
   {
     slots;
@@ -519,13 +524,14 @@ let build_cache ~slots ~frags ~peis ~exits ~slot_alpha ~slot_class
       Array.of_list
         (List.sort compare
            (Hashtbl.fold (fun k () acc -> k :: acc) unique_vpcs []));
+    idioms;
   }
 
 let save_snapshot t : Persist.Snapshot.t =
   Obs.bump c_persist_saves 1;
   let body =
     match t.backend with
-    | B_acc (ctx, _) ->
+    | B_acc (ctx, ex) ->
       let tc = ctx.Translate.tc in
       let n = Tcache.Acc.n_slots tc in
       let slots =
@@ -537,8 +543,9 @@ let save_snapshot t : Persist.Snapshot.t =
            ~peis:(Tcache.Acc.pei_list tc) ~exits:ctx.exits
            ~slot_alpha:ctx.slot_alpha ~slot_class:ctx.slot_class
            ~slot_cyc_ooo:ctx.slot_cyc_ooo ~slot_cyc_ildp:ctx.slot_cyc_ildp
-           ~dispatch_slot:ctx.dispatch_slot ~unique_vpcs:ctx.unique_vpcs)
-    | B_straight (ctx, _) ->
+           ~dispatch_slot:ctx.dispatch_slot ~unique_vpcs:ctx.unique_vpcs
+           ~idioms:(Superop.encode_table (Exec_acc.idiom_table ex)))
+    | B_straight (ctx, ex) ->
       let tc = ctx.Straighten.tc in
       let n = Tcache.Straight.n_slots tc in
       let slots =
@@ -550,7 +557,8 @@ let save_snapshot t : Persist.Snapshot.t =
            ~peis:(Tcache.Straight.pei_list tc) ~exits:ctx.exits
            ~slot_alpha:ctx.slot_alpha ~slot_class:ctx.slot_class
            ~slot_cyc_ooo:ctx.slot_cyc_ooo ~slot_cyc_ildp:ctx.slot_cyc_ildp
-           ~dispatch_slot:ctx.dispatch_slot ~unique_vpcs:ctx.unique_vpcs)
+           ~dispatch_slot:ctx.dispatch_slot ~unique_vpcs:ctx.unique_vpcs
+           ~idioms:(Superop.encode_table (Exec_straight.idiom_table ex)))
   in
   { fingerprint = fingerprint t; body }
 
@@ -586,7 +594,21 @@ let check_cache (c : _ Persist.Snapshot.cache) =
         reject "PEI slot %d out of range [0, %d)" p.p_slot n)
     c.peis;
   if c.dispatch_slot < 0 || c.dispatch_slot >= n then
-    reject "dispatch slot %d out of range [0, %d)" c.dispatch_slot n
+    reject "dispatch slot %d out of range [0, %d)" c.dispatch_slot n;
+  if Option.is_none (Superop.decode_table c.idioms) then
+    reject
+      "idiom table is malformed (unknown shape code, bad n-gram length, or \
+       negative weight)"
+
+(* The persisted idiom table (validated above) installed on the engine
+   before prewarm, so warm-start region promotion fuses with the profile's
+   idioms instead of re-mining from restored-but-never-executed fragments
+   (whose live exec counts are all zero). An empty table means the save-side
+   cache had nothing hot; the engine then mines on demand as usual. *)
+let restore_idioms set ex (c : _ Persist.Snapshot.cache) =
+  match Superop.decode_table c.idioms with
+  | Some tbl when Array.length tbl > 0 -> set ex tbl
+  | _ -> ()
 
 let restore_peis (c : _ Persist.Snapshot.cache) =
   Array.to_list
@@ -656,6 +678,7 @@ let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
       Hashtbl.reset ctx.unique_vpcs;
       Array.iter (fun v -> Hashtbl.replace ctx.unique_vpcs v ()) c.unique_vpcs;
       let n = reinstall_dispatch t c ~prewarm_top in
+      restore_idioms Exec_acc.set_idiom_table ex c;
       (match t.cfg.engine with
       | Config.Threaded -> Exec_acc.prewarm ex
       | Config.Region ->
@@ -675,6 +698,7 @@ let load_snapshot t ~prewarm_top (snap : Persist.Snapshot.t) =
       Hashtbl.reset ctx.unique_vpcs;
       Array.iter (fun v -> Hashtbl.replace ctx.unique_vpcs v ()) c.unique_vpcs;
       let n = reinstall_dispatch t c ~prewarm_top in
+      restore_idioms Exec_straight.set_idiom_table ex c;
       (match t.cfg.engine with
       | Config.Threaded -> Exec_straight.prewarm ex
       | Config.Region ->

@@ -132,10 +132,13 @@ let check_exec ~tol doc (rows : Throughput.row list) =
 
 (* Same shape as the exec-bench gate, for BENCH_region.json: re-runs the
    three-way region sweep, demands every workload still verify (region vs
-   instrumented engines byte-identical in all statistics), and gates the
-   geomean region/matched speedup against the baseline. The
-   region-vs-threaded ratio is reported but not gated: on short workloads
-   it sits near 1.0 and its jitter would make the gate flaky. *)
+   instrumented engines byte-identical in all statistics), and gates two
+   geomeans against the baseline: region/matched over the full suite, and
+   region/threaded over the loop-dominated subset (the superop tier's
+   headline). Baselines predating [geomean_vs_threaded_loop] simply skip
+   the second gate. The full-suite vs-threaded ratio stays note-only: on
+   mixed workloads it sits near 1.0 and its jitter would make a gate
+   flaky. *)
 let check_region ~tol doc (rows : Throughput.region_row list) =
   let ok = ref true and lines = ref [] in
   (match parse_exec_baseline doc with
@@ -169,7 +172,19 @@ let check_region ~tol doc (rows : Throughput.region_row list) =
           notef lines "%s: new workload, absent from baseline" r.rr_name)
       rows;
     let gm = Runner.geomean (List.map Throughput.region_speedup rows) in
-    gate_geomean ~ok ~lines ~tol ~what:"geomean region speedup" ~base:base_gm gm);
+    gate_geomean ~ok ~lines ~tol ~what:"geomean region speedup" ~base:base_gm gm;
+    let module J = Obs.Json in
+    match Option.bind (J.member "geomean_vs_threaded_loop" doc) J.to_float with
+    | None -> () (* baseline predates the superop tier's loop-subset gate *)
+    | Some base_loop ->
+      let cur =
+        match List.filter Throughput.is_loop rows with
+        | [] -> 1.0
+        | loops ->
+          Runner.geomean (List.map Throughput.region_vs_threaded loops)
+      in
+      gate_geomean ~ok ~lines ~tol
+        ~what:"geomean vs-threaded (loop subset)" ~base:base_loop cur);
   { ok = !ok; lines = List.rev !lines }
 
 (* ---- fast-forward timing bench ---- *)

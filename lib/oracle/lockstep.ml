@@ -129,10 +129,14 @@ let fragment_at vm i_pc =
     | None, None -> None
 
 let run ?(granularity = Boundary) ?(threaded = false) ?(region = false)
-    ?(flush_every = 0) ?(fuel = 50_000_000) ?(hot_threshold = 10)
-    ?(warm_start = false) ?corrupt ~mode prog =
-  (* [region] subsumes [threaded]: both run sink-less so the VM takes a
-     non-instrumented engine. *)
+    ?(superops = false) ?(flush_every = 0) ?(fuel = 50_000_000)
+    ?(hot_threshold = 10) ?(warm_start = false) ?corrupt ~mode prog =
+  (* [superops] subsumes [region] (fusion only happens at region promote)
+     and [region] subsumes [threaded]: all run sink-less so the VM takes a
+     non-instrumented engine. [region] alone pins cfg.superops off so the
+     slot-granular tier-2 arm stays covered even though the config default
+     is fused. *)
+  let region = region || superops in
   let threaded = threaded || region in
   (* per-instruction comparison is unsound mid-fragment for accumulator
      backends (deferred state copies); restrict it to straightened code.
@@ -149,6 +153,7 @@ let run ?(granularity = Boundary) ?(threaded = false) ?(region = false)
       isa = mode.isa; chaining = mode.chaining; fuse_mem = mode.fuse_mem;
       hot_threshold;
       engine = (if region then Core.Config.Region else Core.Config.Threaded);
+      superops;
       (* aggressive promotion so oracle-sized programs actually tier up;
          exercises region compile/run/invalidate on nearly every seed *)
       region_threshold = (if region then 4 else Core.Config.default.region_threshold)

@@ -73,6 +73,7 @@ val run :
   ?granularity:granularity ->
   ?threaded:bool ->
   ?region:bool ->
+  ?superops:bool ->
   ?flush_every:int ->
   ?fuel:int ->
   ?hot_threshold:int ->
@@ -91,7 +92,12 @@ val run :
     fragment entries), so the oracle validates the region tier-up
     compiler — bulk accounting, direct intra-region transfers, and
     region invalidation on flush/patch — against the golden interpreter;
-    it implies the sink-less setup of [threaded]. [flush_every] > 0
+    it implies the sink-less setup of [threaded]. [region] alone pins
+    [Core.Config.superops] off so the slot-granular tier-2 arm stays
+    covered; [superops] (default false) implies [region] and turns the
+    fused superop tier on, validating block fusion — specialized closure
+    emission, idiom-template arms, mid-block fault unwinds — against the
+    golden interpreter. [flush_every] > 0
     injects a {!Core.Vm.flush}
     every that many segment boundaries (default 0 = never).
     [hot_threshold] defaults to 10 so short programs reach translated

@@ -12,8 +12,12 @@ let magic = "ILDPSNAP"
    version 3: the cache gained per-slot static cycle annotations
    (slot_cyc_ooo / slot_cyc_ildp) for the fast-forward timing tier —
    annotation happens only at translation time, so a warm start must
-   carry the costs or restored fragments would execute unpriced. *)
-let version = 3
+   carry the costs or restored fragments would execute unpriced.
+   version 4: the cache gained the ranked superop idiom table (mined
+   slot-shape n-grams, see {!Core.Superop}) and the fingerprint gained
+   fp_superops — a warm start fuses promoted blocks with the profile's
+   idioms immediately instead of re-mining from a cold cache. *)
+let version = 4
 
 type fingerprint = {
   fp_backend : string;
@@ -27,6 +31,7 @@ type fingerprint = {
   fp_fuse_mem : bool;
   fp_region_threshold : int;
   fp_region_max_slots : int;
+  fp_superops : bool;
   fp_image_digest : string;
 }
 
@@ -53,6 +58,7 @@ let fingerprint_mismatches ~got ~want =
       b "fuse_mem" got.fp_fuse_mem want.fp_fuse_mem;
       i "region_threshold" got.fp_region_threshold want.fp_region_threshold;
       i "region_max_slots" got.fp_region_max_slots want.fp_region_max_slots;
+      b "superops" got.fp_superops want.fp_superops;
       s "image_digest" got.fp_image_digest want.fp_image_digest;
     ]
 
@@ -83,6 +89,11 @@ type 'insn cache = {
   slot_cyc_ildp : int array;
   dispatch_slot : int;
   unique_vpcs : int array;
+  idioms : (int array * int) array;
+      (* ranked superop idiom table: (shape-code n-gram, dynamic weight)
+         rows, hottest first. Codes are validated by the loader
+         (Core.Vm.check_cache), not here — persist cannot see the shape
+         alphabet. Empty means "mine on demand". *)
 }
 
 type body =
@@ -113,6 +124,7 @@ let put_fingerprint w fp =
   B.bool w fp.fp_fuse_mem;
   B.int w fp.fp_region_threshold;
   B.int w fp.fp_region_max_slots;
+  B.bool w fp.fp_superops;
   B.str w fp.fp_image_digest
 
 let get_fingerprint r =
@@ -127,10 +139,11 @@ let get_fingerprint r =
   let fp_fuse_mem = B.read_bool r in
   let fp_region_threshold = B.read_int r in
   let fp_region_max_slots = B.read_int r in
+  let fp_superops = B.read_bool r in
   let fp_image_digest = B.read_str r in
   { fp_backend; fp_isa; fp_chaining; fp_engine; fp_n_accs; fp_hot_threshold;
     fp_max_superblock; fp_stop_at_translated; fp_fuse_mem;
-    fp_region_threshold; fp_region_max_slots; fp_image_digest }
+    fp_region_threshold; fp_region_max_slots; fp_superops; fp_image_digest }
 
 let put_frag w f =
   B.int w f.f_id;
@@ -206,7 +219,12 @@ let put_cache w put_insn c =
   put_array w B.int c.slot_cyc_ooo;
   put_array w B.int c.slot_cyc_ildp;
   B.int w c.dispatch_slot;
-  put_array w B.int c.unique_vpcs
+  put_array w B.int c.unique_vpcs;
+  put_array w
+    (fun w (codes, weight) ->
+      put_array w B.int codes;
+      B.int w weight)
+    c.idioms
 
 let get_cache r get_insn =
   let slots =
@@ -224,8 +242,14 @@ let get_cache r get_insn =
   let slot_cyc_ildp = get_array r B.read_int in
   let dispatch_slot = B.read_int r in
   let unique_vpcs = get_array r B.read_int in
+  let idioms =
+    get_array r (fun r ->
+        let codes = get_array r B.read_int in
+        let weight = B.read_int r in
+        (codes, weight))
+  in
   { slots; frags; peis; exits; slot_alpha; slot_class; slot_cyc_ooo;
-    slot_cyc_ildp; dispatch_slot; unique_vpcs }
+    slot_cyc_ildp; dispatch_slot; unique_vpcs; idioms }
 
 let put_body w = function
   | B_acc c ->

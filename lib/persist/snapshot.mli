@@ -34,6 +34,7 @@ type fingerprint = {
   fp_fuse_mem : bool;
   fp_region_threshold : int;
   fp_region_max_slots : int;
+  fp_superops : bool;
   fp_image_digest : string;  (** hex MD5 of the program image + entry *)
 }
 
@@ -69,6 +70,11 @@ type 'insn cache = {
       (** per-slot static cycle cost under the ILDP model *)
   dispatch_slot : int;
   unique_vpcs : int array;  (** sorted, for deterministic encodings *)
+  idioms : (int array * int) array;
+      (** ranked superop idiom table, hottest first: (shape-code n-gram,
+          dynamic weight) rows as produced by [Core.Superop.encode_table].
+          Codes are validated at load by [Core.Vm]; empty means "mine on
+          demand". *)
 }
 
 type body =

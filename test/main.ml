@@ -16,6 +16,7 @@ let () =
       ("harness", Test_harness.suite);
       ("pool", Test_pool.suite);
       ("oracle", Test_oracle.suite);
+      ("superop", Test_superop.suite);
       ("exec_closure", Test_exec_closure.suite);
       ("obs", Test_obs.suite);
       ("persist", Test_persist.suite);

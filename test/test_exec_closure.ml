@@ -289,6 +289,48 @@ let test_region_patch_invalidates () =
   check Alcotest.bool "a chain patch invalidated a live region" true
     (cget snap "engine.region_invalidations" >= 1)
 
+(* Superop fusion rides on promotion (cfg.superops defaults on, so every
+   differential Region case above already runs fused). This case pins the
+   fused-closure lifecycle: promoted regions really fuse per-block
+   closures, a chain patch landing on a slot inside a live fused region
+   drops those closures and restores the slot-granular entry op (the run
+   completing identically to the instrumented engine proves the restored
+   op is the right one), and re-promotion leaves live fused blocks
+   behind. *)
+let test_fused_patch_drops_closures () =
+  let image = workload "gzip" in
+  let matched = run_vm ~engine:Core.Config.Matched ~mode:region_mode image in
+  let cfg =
+    {
+      Core.Config.default with
+      isa = region_mode.isa;
+      chaining = region_mode.chaining;
+      fuse_mem = region_mode.fuse_mem;
+      hot_threshold = 10;
+      engine = Core.Config.Region;
+      region_threshold = 4;
+    }
+  in
+  let vm = Core.Vm.create ~cfg ~kind:region_mode.kind image in
+  let _, snap = with_counters (fun () -> Core.Vm.run ~fuel:10_000_000 vm) in
+  check Alcotest.string "fused run output = matched" matched.output
+    (Core.Vm.output vm);
+  check Alcotest.bool "fused run checksum = matched" true
+    (Int64.equal matched.checksum (Core.Vm.reg_checksum vm));
+  check Alcotest.bool "blocks were fused" true
+    (cget snap "engine.superop_fusions" > 0);
+  check Alcotest.bool "live regions carry fused blocks" true
+    (Core.Vm.fused_block_count vm > 0);
+  check Alcotest.bool "chain patches invalidated live fused regions" true
+    (cget snap "engine.region_invalidations" >= 1
+    && cget snap "tcache.patches" >= 1);
+  (* invalidation restored entry ops and dropped closures; the later
+     re-promotions rebuilt some, so compiles strictly exceed live
+     regions *)
+  check Alcotest.bool "invalidated regions were re-promoted" true
+    (cget snap "engine.region_compiles" > Core.Vm.region_count vm
+    || cget snap "engine.region_invalidations" = 0)
+
 (* ---------- a sink forces the instrumented engine ---------- *)
 
 let test_sink_forces_instrumented () =
@@ -329,6 +371,8 @@ let suite =
       test_region_flush_mid_region;
     Alcotest.test_case "chain patch invalidates live regions" `Quick
       test_region_patch_invalidates;
+    Alcotest.test_case "patch drops fused closures, restores entry op" `Quick
+      test_fused_patch_drops_closures;
     Alcotest.test_case "sink forces the instrumented engine" `Quick
       test_sink_forces_instrumented;
   ]

@@ -207,6 +207,53 @@ let test_framing_rejected () =
   expect_error "version skew" (fun () ->
       Persist.Snapshot.of_string (Bytes.to_string b))
 
+(* ---------- idiom table (snapshot format v4) ---------- *)
+
+(* The mined idiom table rides in the cache body: a cold run that entered
+   fragments produces a non-empty ranked table, and it survives the byte
+   encoding exactly (the warm start fuses with it immediately). *)
+let test_idiom_table_roundtrip () =
+  let snap = snapshot_of (prog_of_seed 3) in
+  let back = Persist.Snapshot.of_string (Persist.Snapshot.to_string snap) in
+  match (snap.body, back.body) with
+  | Persist.Snapshot.B_acc a, Persist.Snapshot.B_acc b ->
+    check Alcotest.bool "profile mined a non-empty idiom table" true
+      (Array.length a.idioms > 0);
+    check Alcotest.bool "idiom rows equal after roundtrip" true
+      (a.idioms = b.idioms);
+    (match Core.Superop.decode_table b.idioms with
+    | Some tbl ->
+      check Alcotest.int "decoded table row-parallel" (Array.length b.idioms)
+        (Array.length tbl)
+    | None -> Alcotest.fail "persisted idiom table failed to decode")
+  | _ -> Alcotest.fail "expected acc bodies"
+
+(* A structurally corrupt idiom table behind a *valid* container CRC
+   (re-encoding recomputes it) must still be rejected at load — semantic
+   validation cannot hide behind the checksum. *)
+let test_corrupt_idiom_table_rejected () =
+  let prog = prog_of_seed 6 in
+  let snap = snapshot_of prog in
+  let poison idioms =
+    match snap.body with
+    | Persist.Snapshot.B_acc c ->
+      { snap with Persist.Snapshot.body = Persist.Snapshot.B_acc { c with idioms } }
+    | Persist.Snapshot.B_straight _ -> Alcotest.fail "expected acc body"
+  in
+  let load s =
+    let s = Persist.Snapshot.of_string (Persist.Snapshot.to_string s) in
+    ignore
+      (Core.Vm.create ~cfg:(cfg_of base_mode) ~snapshot:s ~kind:Core.Vm.Acc prog
+        : Core.Vm.t)
+  in
+  expect_error "unknown shape code" (fun () ->
+      load (poison [| ([| 255; 0 |], 1) |]));
+  expect_error "bad n-gram length" (fun () -> load (poison [| ([| 0 |], 1) |]));
+  expect_error "negative weight" (fun () ->
+      load (poison [| ([| 0; 1 |], -3) |]));
+  (* and the unpoisoned snapshot still loads *)
+  load snap
+
 (* ---------- fingerprint invalidation ---------- *)
 
 let test_fingerprint_rejected () =
@@ -381,6 +428,10 @@ let suite =
     Alcotest.test_case "bit flips rejected" `Quick test_corruption_rejected;
     Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
     Alcotest.test_case "framing damage rejected" `Quick test_framing_rejected;
+    Alcotest.test_case "idiom table roundtrips (v4)" `Quick
+      test_idiom_table_roundtrip;
+    Alcotest.test_case "corrupt idiom table rejected" `Quick
+      test_corrupt_idiom_table_rejected;
     Alcotest.test_case "fingerprint mismatches rejected" `Quick
       test_fingerprint_rejected;
     Alcotest.test_case "mismatch report" `Quick test_mismatch_report;

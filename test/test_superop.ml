@@ -1,0 +1,156 @@
+(* Unit tests for the superop idiom miner ({!Core.Superop}): n-gram
+   mining determinism, ranking stability, and the idiom-table encoding
+   that rides in snapshot format v4 — including rejection of malformed
+   tables (the loader must never fuse garbage). *)
+
+open Core.Superop
+
+let check = Alcotest.check
+
+(* A small shape vocabulary for hand-built profiles. *)
+let add = Sh_alu (A_add, 0)
+let addc = Sh_alu (A_add, 1)
+let cmp = Sh_alu (A_cmp, 0)
+let ld = Sh_load (8, false)
+let st = Sh_store 8
+
+let show tbl =
+  String.concat " | "
+    (Array.to_list
+       (Array.map
+          (fun i -> Printf.sprintf "%s@%d" (pattern_name i.pattern) i.weight)
+          tbl))
+
+(* ---------- mining determinism ---------- *)
+
+(* Same profiles, any list order, any repetition of the call: the ranked
+   table must come out bit-identical — it is persisted and compared
+   across warm starts. *)
+let test_mine_deterministic () =
+  let profiles =
+    [
+      ([| add; ld; addc; st |], 7);
+      ([| add; ld |], 3);
+      ([| cmp; Sh_bc |], 11);
+      ([| addc; st; add; ld |], 2);
+    ]
+  in
+  let t1 = mine profiles in
+  let t2 = mine profiles in
+  check Alcotest.string "repeated call" (show t1) (show t2);
+  let t3 = mine (List.rev profiles) in
+  check Alcotest.string "profile order irrelevant" (show t1) (show t3);
+  check Alcotest.bool "mined something" true (Array.length t1 > 0)
+
+(* ---------- ranking stability ---------- *)
+
+let test_mine_ranking () =
+  (* distinct 2-grams with distinct weights: rank by weight descending *)
+  let tbl = mine [ ([| add; ld |], 5); ([| cmp; st |], 9) ] in
+  check Alcotest.string "weight descending" "cmp.rr;st8 | add.rr;ld8"
+    (String.concat " | "
+       (Array.to_list (Array.map (fun i -> pattern_name i.pattern) tbl)));
+  (* one fragment executed 6 times: the 3-gram and both its 2-gram
+     sub-windows all weigh 6, so longer patterns must rank first *)
+  let tbl = mine [ ([| add; ld; st |], 6) ] in
+  check Alcotest.int "window count" 3 (Array.length tbl);
+  check Alcotest.int "longest pattern first" 3 (Array.length tbl.(0).pattern);
+  (* equal weight and length: code-lexicographic, stable across runs *)
+  let tbl = mine [ ([| add; ld |], 4); ([| add; st |], 4) ] in
+  let names =
+    Array.to_list (Array.map (fun i -> pattern_name i.pattern) tbl)
+  in
+  check (Alcotest.list Alcotest.string) "code-lex tie break"
+    [ "add.rr;ld8"; "add.rr;st8" ] names
+
+(* Windows that no template could fire on never enter the table:
+   [Sh_misc] and [Sh_ctl] anywhere, [Sh_bc] anywhere but last; and
+   zero-weight fragments contribute nothing. *)
+let test_mine_skips_unfusable () =
+  let has_shape s tbl =
+    Array.exists (fun i -> Array.exists (fun x -> x = s) i.pattern) tbl
+  in
+  let tbl = mine [ ([| add; Sh_misc; ld |], 9) ] in
+  check Alcotest.bool "misc never mined" false (has_shape Sh_misc tbl);
+  let tbl = mine [ ([| add; Sh_ctl; ld |], 9) ] in
+  check Alcotest.bool "ctl never mined" false (has_shape Sh_ctl tbl);
+  let tbl = mine [ ([| cmp; Sh_bc; ld |], 9) ] in
+  Array.iter
+    (fun i ->
+      Array.iteri
+        (fun j s ->
+          if s = Sh_bc then
+            check Alcotest.int
+              (pattern_name i.pattern ^ ": bc only terminal")
+              (Array.length i.pattern - 1)
+              j)
+        i.pattern)
+    tbl;
+  check Alcotest.int "zero-weight profile mines nothing" 0
+    (Array.length (mine [ ([| add; ld; st |], 0) ]))
+
+let test_mine_top_cap () =
+  let profiles =
+    List.init 10 (fun k -> ([| Sh_alu (A_add, k mod 4); Sh_load (8, false) |], k + 1))
+  in
+  check Alcotest.bool "top cap honored" true
+    (Array.length (mine ~top:3 profiles) <= 3)
+
+(* ---------- fuse-time lookup ---------- *)
+
+let test_enabled_and_longest_match () =
+  let tbl = mine [ ([| add; ld; st |], 6) ] in
+  let shapes = [| add; ld; st; cmp |] in
+  check Alcotest.bool "3-gram enabled" true (enabled tbl shapes ~pos:0 ~len:3);
+  check Alcotest.bool "2-gram enabled" true (enabled tbl shapes ~pos:0 ~len:2);
+  check Alcotest.bool "unmined window" false (enabled tbl shapes ~pos:2 ~len:2);
+  check Alcotest.int "longest match" 3
+    (longest_match tbl shapes ~pos:0 ~max_len:4);
+  check Alcotest.int "capped match" 2
+    (longest_match tbl shapes ~pos:0 ~max_len:2);
+  check Alcotest.int "no match" 0 (longest_match tbl shapes ~pos:3 ~max_len:4)
+
+(* ---------- snapshot v4 idiom-table encoding ---------- *)
+
+let test_table_roundtrip () =
+  let tbl =
+    mine
+      [
+        ([| add; ld; addc; st |], 7);
+        ([| cmp; Sh_bc |], 11);
+        ([| Sh_move; Sh_load (4, true); Sh_store 2 |], 3);
+        ([| Sh_cmov; Sh_alu (A_mul, 2) |], 1);
+      ]
+  in
+  check Alcotest.bool "mined something" true (Array.length tbl > 0);
+  match decode_table (encode_table tbl) with
+  | None -> Alcotest.fail "roundtrip rejected a well-formed table"
+  | Some tbl' -> check Alcotest.string "roundtrip identity" (show tbl) (show tbl')
+
+let test_table_rejects_malformed () =
+  let reject what rows =
+    check Alcotest.bool what true (decode_table rows = None)
+  in
+  reject "unknown shape code" [| ([| 255; 0 |], 5) |];
+  reject "pattern too short" [| ([| 0 |], 5) |];
+  reject "pattern too long" [| ([| 0; 0; 0; 0; 0 |], 5) |];
+  reject "negative weight" [| ([| 0; 1 |], -1) |];
+  (* one bad row poisons the whole table — the loader falls back to
+     re-mining rather than fusing with a partial profile *)
+  let good = encode_table (mine [ ([| add; ld |], 2) ]) in
+  reject "bad row poisons table" (Array.append good [| ([| 255; 0 |], 1) |]);
+  check Alcotest.bool "empty table is valid" true (decode_table [||] = Some [||])
+
+let suite =
+  [
+    Alcotest.test_case "mining is deterministic" `Quick test_mine_deterministic;
+    Alcotest.test_case "ranking is stable" `Quick test_mine_ranking;
+    Alcotest.test_case "unfusable windows are skipped" `Quick
+      test_mine_skips_unfusable;
+    Alcotest.test_case "top cap honored" `Quick test_mine_top_cap;
+    Alcotest.test_case "enabled / longest_match" `Quick
+      test_enabled_and_longest_match;
+    Alcotest.test_case "idiom table roundtrips" `Quick test_table_roundtrip;
+    Alcotest.test_case "malformed idiom tables rejected" `Quick
+      test_table_rejects_malformed;
+  ]
