@@ -27,6 +27,9 @@ let check_file = ref None
 let check_tol = ref 0.10
 let save_cache = ref None
 let load_cache = ref None
+let sessions = ref 1000
+let images = ref 4
+let service_seed = ref 1
 
 let args =
   [
@@ -59,6 +62,12 @@ let args =
     ("--load-cache", Arg.String (fun f -> load_cache := Some f),
      "FILE with -e persist: warm the first workload from this snapshot \
       (cross-process roundtrip) instead of its in-process encoding");
+    ("--sessions", Arg.Set_int sessions,
+     "N with -e service-load: guest sessions to drive (default 1000)");
+    ("--images", Arg.Set_int images,
+     "N with -e service-load: distinct workload images (default 4)");
+    ("--seed", Arg.Set_int service_seed,
+     "N with -e service-load: arrival-order shuffle seed (default 1)");
     ("--bechamel", Arg.Set bechamel, " run Bechamel microbenchmarks");
     ("--csv", Arg.String (fun d -> csv_dir := Some d),
      "DIR export per-benchmark series as CSV files");
@@ -313,6 +322,36 @@ let run_persist fmt ~scale =
     exit 1
   end
 
+(* ---------- translation-service load (1000 sessions, warm cache) ---------- *)
+
+(* Not a paper experiment: a load generator driving many concurrent guest
+   sessions through the translation service's shared warm-cache registry,
+   every session cross-verified against a serial reference run. Exit
+   status 1 on any divergence (@service-smoke gates on it). *)
+let run_service_load fmt ~scale =
+  let s =
+    Harness.Service_bench.run_load ~sessions:!sessions ~images:!images
+      ~scale ~jobs:(effective_jobs ()) ~seed:!service_seed ()
+  in
+  Harness.Service_bench.render fmt s;
+  Format.pp_print_flush fmt ();
+  Option.iter
+    (fun path ->
+      Harness.Service_bench.write_json path ~jobs:(effective_jobs ()) ~scale
+        ~fuel:Harness.Service_bench.default_fuel s;
+      Printf.printf "wrote %s\n" path)
+    !bench_json;
+  if s.divergences > 0 then begin
+    prerr_endline "service-load: sessions diverged from the serial reference";
+    exit 1
+  end;
+  if s.cold_builds <> s.images then begin
+    Printf.eprintf "service-load: %d cold builds for %d images (single-flight \
+                    violated)\n"
+      s.cold_builds s.images;
+    exit 1
+  end
+
 (* Plan -> parallel cache warm -> serial render. The render functions only
    read memoised results, so console output is byte-identical at any job
    count; rows are formatted in the same order as a serial run. *)
@@ -347,9 +386,13 @@ let run_check path =
     Harness.Fastfwd_bench.sweep ~interval:!sample_interval
       ~scale:(timing_scale ()) ()
   in
+  let service_sweep ~sessions ~images ~seed =
+    Harness.Service_bench.run_load ~sessions ~images ~scale:!scale
+      ~jobs:(effective_jobs ()) ~seed ()
+  in
   let r =
     Harness.Check.run ~tol:!check_tol ~ids ~sweep ~region_sweep ~timing_sweep
-      path
+      ~service_sweep path
   in
   Printf.printf "check %s (tol ±%.0f%%)\n" path (100.0 *. !check_tol);
   List.iter print_endline r.Harness.Check.lines;
@@ -383,7 +426,10 @@ let () =
     Printf.printf "%-8s %s\n" "timing-fastfwd"
       "sampled vs full-fidelity ILDP timing, accuracy-gated";
     Printf.printf "%-8s %s\n" "persist"
-      "cold vs warm start from a translation-cache snapshot, verified"
+      "cold vs warm start from a translation-cache snapshot, verified";
+    Printf.printf "%-8s %s\n" "service-load"
+      "translation-service session load over the warm-cache registry, \
+       verified"
   end
   else if !bechamel then run_bechamel ()
   else if !csv_dir <> None then begin
@@ -418,6 +464,7 @@ let () =
     | Some "timing-fastfwd" ->
       run_timing fmt ~scale:(timing_scale ()) ~interval:!sample_interval
     | Some "persist" -> run_persist fmt ~scale:!scale
+    | Some "service-load" -> run_service_load fmt ~scale:!scale
     | Some id -> (
       match Harness.Experiments.find id with
       | Some e -> run_experiments fmt [ e ] ~scale:!scale

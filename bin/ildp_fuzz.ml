@@ -238,8 +238,37 @@ let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~region
        (List.map (fun e -> "\"" ^ json_escape e ^ "\"") errors));
   p "}\n"
 
+(* One file per divergence, named so a directory aggregating several fuzz
+   arms stays collision-free: the minimized source plus the rendered
+   divergence, ready to re-run with `ildp_run FILE.s`. *)
+let write_repros dir ~threaded ~region ~superops ~warm_start reports =
+  if reports <> [] then begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let arm =
+      String.concat ""
+        [ (if superops then "-superop" else if region then "-region"
+           else if threaded then "-threaded" else "");
+          (if warm_start then "-warm" else "") ]
+    in
+    List.iter
+      (fun r ->
+        let stem =
+          Printf.sprintf "seed%d-%s%s" r.r_seed
+            (String.map (function '/' -> '_' | c -> c) r.r_mode)
+            arm
+        in
+        let oc = open_out (Filename.concat dir (stem ^ ".s")) in
+        output_string oc r.r_source;
+        close_out oc;
+        let oc = open_out (Filename.concat dir (stem ^ ".divergence.txt")) in
+        Printf.fprintf oc "seed %d mode %s, minimized to %d blocks\n\n%s\n"
+          r.r_seed r.r_mode r.r_blocks r.r_text;
+        close_out oc)
+      reports
+  end
+
 let run count seed minutes jobs modes_arg flush_every per_insn threaded region
-    superops warm_start json_path quiet =
+    superops warm_start json_path repro_dir quiet =
   let modes =
     if modes_arg = "all" then Oracle.Lockstep.all_modes
     else
@@ -317,6 +346,10 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded region
     let oc = open_out path in
     emit oc;
     close_out oc);
+  Option.iter
+    (fun dir ->
+      write_repros dir ~threaded ~region ~superops ~warm_start reports)
+    repro_dir;
   if reports <> [] || !errors <> [] then exit 1
 
 let cmd =
@@ -378,6 +411,12 @@ let cmd =
     Arg.(value & opt string "-" & info [ "json" ]
            ~doc:"Write the JSON summary to this file ('-' = stdout).")
   in
+  let repro_dir =
+    Arg.(value & opt (some string) None & info [ "repro-dir" ] ~docv:"DIR"
+           ~doc:"On divergence, write each shrunk reproducer (minimized \
+                 assembly source + rendered divergence) into $(docv), \
+                 created on demand; CI uploads it as a failure artifact.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the stderr summary.")
   in
@@ -386,6 +425,7 @@ let cmd =
        ~doc:"Differential fuzzing of the DBT against the Alpha interpreter")
     Term.(
       const run $ count $ seed $ minutes $ jobs $ modes $ flush_every
-      $ per_insn $ threaded $ region $ superops $ warm_start $ json $ quiet)
+      $ per_insn $ threaded $ region $ superops $ warm_start $ json
+      $ repro_dir $ quiet)
 
 let () = exit (Cmd.eval cmd)

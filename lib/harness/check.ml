@@ -330,6 +330,73 @@ let check_persist doc =
         (List.length rows));
   { ok = !ok; lines = List.rev !lines }
 
+(* ---- service bench ---- *)
+
+(* Gate for BENCH_service.json: structural invariants on the baseline
+   (zero divergences; single-flight means cold builds == images; the
+   warm-hit rate is then exactly (sessions - images)/sessions), plus a
+   live re-run of the load at the baseline's images/seed whose
+   divergence count must be zero and whose translation-work reduction —
+   deterministic cost-model units, host-independent — must not regress
+   below the baseline. Throughput (sessions/sec) is machine-dependent
+   and compared as a note only. *)
+let check_service ~tol doc (service_sweep : sessions:int -> images:int ->
+                            seed:int -> Service_bench.summary) =
+  let module J = Obs.Json in
+  let ok = ref true and lines = ref [] in
+  let int_f name = Option.bind (J.member name doc) J.to_int in
+  let float_f name = Option.bind (J.member name doc) J.to_float in
+  (match
+     ( int_f "sessions",
+       int_f "images",
+       int_f "divergences",
+       int_f "cold_builds",
+       float_f "warm_hit_rate",
+       float_f "translate_reduction" )
+   with
+  | Some sessions, Some images, Some div, Some cold, Some whr, Some red ->
+    if div <> 0 then failf ok lines "baseline recorded %d divergences" div;
+    if cold <> images then
+      failf ok lines
+        "baseline cold builds %d != images %d (single-flight violated)" cold
+        images;
+    let expect =
+      float_of_int (sessions - images) /. float_of_int (max 1 sessions)
+    in
+    if Float.abs (whr -. expect) > 1e-9 then
+      failf ok lines
+        "baseline warm-hit rate %.4f != single-flight expectation %.4f" whr
+        expect;
+    if red <= 0.0 then
+      failf ok lines "baseline translate reduction %.3f not positive" red;
+    let seed = Option.value ~default:1 (int_f "seed") in
+    let live = service_sweep ~sessions ~images ~seed in
+    if live.Service_bench.divergences <> 0 then
+      failf ok lines "live load: %d divergences" live.divergences;
+    if live.cold_builds <> live.images then
+      failf ok lines "live load: cold builds %d != images %d"
+        live.cold_builds live.images;
+    if live.warm_hits + live.cold_builds <> live.sessions then
+      failf ok lines "live load: %d of %d sessions missing"
+        (live.sessions - live.warm_hits - live.cold_builds)
+        live.sessions;
+    gate_geomean ~ok ~lines ~tol ~what:"service translate reduction"
+      ~base:red live.translate_reduction;
+    (match float_f "sessions_per_sec" with
+    | Some base_sps when rel_exceeds ~tol ~base:base_sps live.sessions_per_sec
+      ->
+      notef lines
+        "throughput %.1f sessions/sec vs baseline %.1f (>±%.0f%%, \
+         machine-dependent)"
+        live.sessions_per_sec base_sps (100.0 *. tol)
+    | _ -> ());
+    if !ok then
+      okf lines
+        "%d live sessions over %d images: 0 divergences, %d warm hits"
+        live.sessions live.images live.warm_hits
+  | _ -> failf ok lines "baseline: malformed service document");
+  { ok = !ok; lines = List.rev !lines }
+
 (* ---- dispatch ---- *)
 
 let prefixed p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
@@ -337,7 +404,7 @@ let prefixed p s = String.length s >= String.length p && String.sub s 0 (String.
 (* Runs the appropriate check for [path]. [sweep] / [region_sweep] /
    [timing_sweep] produce the current rows on demand (only the matching
    branch pays for its sweep); [ids] is the current experiment registry. *)
-let run ~tol ~ids ~sweep ~region_sweep ~timing_sweep path =
+let run ~tol ~ids ~sweep ~region_sweep ~timing_sweep ~service_sweep path =
   match Obs.Json.parse_file path with
   | Error e -> { ok = false; lines = [ Printf.sprintf "FAIL %s: %s" path e ] }
   | Ok doc -> (
@@ -349,5 +416,7 @@ let run ~tol ~ids ~sweep ~region_sweep ~timing_sweep path =
       check_timing ~tol doc (timing_sweep ())
     | Some s when prefixed "ildp-dbt-bench/" s -> check_harness doc ~ids
     | Some s when prefixed "ildp-dbt-persist/" s -> check_persist doc
+    | Some s when prefixed "ildp-dbt-service/" s ->
+      check_service ~tol doc service_sweep
     | Some s -> { ok = false; lines = [ Printf.sprintf "FAIL unknown schema %S" s ] }
     | None -> { ok = false; lines = [ "FAIL baseline has no \"schema\" field" ] })

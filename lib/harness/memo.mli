@@ -1,25 +1,6 @@
-(** Domain-safe single-flight memoisation table.
+(** Alias of {!Taskpool.Memo}; see {!Harness.Pool} for why the
+    implementation lives in [Taskpool]. *)
 
-    [find_or_compute t key f] returns the cached value for [key], or runs
-    [f ()] exactly once even when many domains request the same key
-    concurrently: the first requester computes while the others block on
-    the entry's condition variable and receive the same value. If [f]
-    raises, every domain waiting on that flight receives the exception and
-    the key is removed, so a later request retries the computation. *)
-
-type ('k, 'v) t
-
-val create : int -> ('k, 'v) t
-(** [create n] — [n] is the initial size hint. Keys are compared with
-    structural equality; do not use keys containing functional values. *)
-
-val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
-
-val mem : ('k, 'v) t -> 'k -> bool
-(** Whether [key] has a completed or in-flight entry. *)
-
-val length : ('k, 'v) t -> int
-
-val clear : ('k, 'v) t -> unit
-(** Drop all completed entries (for tests). Must not be called while
-    computations are in flight. *)
+include module type of struct
+  include Taskpool.Memo
+end

@@ -1,36 +1,8 @@
-(** Fixed-size worker pool over stdlib [Domain]s.
+(** Alias of {!Taskpool.Pool} (the implementation moved there so
+    [lib/service] can use it without a library cycle); kept here so
+    existing [Harness.Pool] references keep working, with full type
+    equality. *)
 
-    Jobs submitted with [submit] are executed by [size t] worker domains in
-    FIFO order; [await] blocks until the job's result (or exception) is
-    available. Exceptions raised by a job are re-raised, with their
-    original backtrace, in every domain that awaits its future.
-
-    A pool of size 1 still runs jobs on a single dedicated worker domain,
-    so the execution environment is identical at every [--jobs] setting;
-    determinism of results must come from the jobs themselves (all
-    simulation runs here are deterministic and share no mutable state). *)
-
-type t
-
-type 'a future
-
-val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] spawns [max 1 jobs] worker domains.
-    Default: [Domain.recommended_domain_count ()]. *)
-
-val size : t -> int
-(** Number of worker domains. *)
-
-val submit : t -> (unit -> 'a) -> 'a future
-(** Enqueue a job. Raises [Invalid_argument] on a shut-down pool. *)
-
-val await : 'a future -> 'a
-(** Block until the job completes; returns its value or re-raises its
-    exception. May be called from any domain, any number of times. *)
-
-val shutdown : t -> unit
-(** Finish all queued jobs, then join the workers. Idempotent. *)
-
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
-(** [with_pool f] runs [f] over a fresh pool and shuts it down afterwards,
-    also on exception. *)
+include module type of struct
+  include Taskpool.Pool
+end

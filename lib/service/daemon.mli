@@ -1,0 +1,100 @@
+(** Translation-as-a-service daemon core.
+
+    A service schedules N concurrent guest sessions over a shared
+    {!Taskpool.Pool}, warm-starting every session whose configuration +
+    image fingerprint is already published in the shared {!Registry}:
+    the first session per image pays translation and publishes its
+    translation-cache snapshot; every later session restores it and
+    forms zero new superblocks.
+
+    Admission control is synchronous and bounded: {!submit} blocks the
+    caller while [capacity] sessions are already admitted-but-unfinished
+    (backpressure), and rejects — never queues — requests from unknown
+    tenants, over-sized images, exhausted fuel quotas, or a draining
+    service. Per-tenant fuel is reserved at admission ([min] of the
+    request's fuel and the tenant's remaining quota) and settled exactly
+    at completion, so a tenant can never run the shared workers past its
+    quota: a session stopped by the quota ends with a clean {!S_quota}
+    result, not a crash. *)
+
+type tenant_quota = {
+  q_fuel : int;  (** total guest instructions across all sessions *)
+  q_image_bytes : int;  (** max text+data bytes of a single image *)
+}
+
+type request = {
+  rq_tenant : string;
+  rq_label : string;  (** session label, echoed in the result *)
+  rq_prog : Alpha.Program.t;
+  rq_fuel : int;  (** per-session fuel cap, clamped by the tenant quota *)
+}
+
+type reason =
+  | S_exit of int  (** guest exited normally with this code *)
+  | S_fault of string  (** guest trapped *)
+  | S_fuel  (** the request's own [rq_fuel] cap ran out *)
+  | S_quota  (** the tenant fuel quota ran out mid-run *)
+  | S_cancelled  (** queued session rejected by a non-draining shutdown *)
+
+type result = {
+  s_label : string;
+  s_tenant : string;
+  s_reason : reason;
+  s_warm : bool;  (** warm-started from a registry snapshot *)
+  s_fuel_used : int;  (** exact: interpreted + translated-retired insns *)
+  s_output : string;  (** guest console output *)
+  s_checksum : int64;  (** final register-file checksum *)
+  s_superblocks : int;  (** superblocks formed (0 for warm sessions) *)
+  s_translate_units : int;
+      (** deterministic cost-model translation work this session paid;
+          near zero for warm sessions *)
+  s_latency_ms : float;  (** admission to completion, wall clock *)
+}
+
+type t
+
+val create :
+  ?cfg:Core.Config.t ->
+  ?jobs:int ->
+  ?capacity:int ->
+  ?spill_dir:string ->
+  tenants:(string * tenant_quota) list ->
+  unit ->
+  t
+(** [capacity] bounds admitted-but-unfinished sessions (default
+    [4 * jobs]); [spill_dir] persists published snapshots across daemon
+    restarts (see {!Registry.create}). *)
+
+type session
+(** Handle for one admitted session; redeem with {!wait}. *)
+
+val submit : t -> request -> (session, string) Stdlib.result
+(** Admit (blocking under backpressure) or reject with a reason. *)
+
+val wait : session -> result
+(** Block until the session completes. Never raises for guest-side
+    failures — faults, fuel and quota exhaustion, and shutdown
+    cancellation all come back as {!type-result} values. *)
+
+val run : t -> request -> result
+(** [submit] + [wait], with admission rejections folded into a result
+    whose [s_reason] is {!S_fault}[ ("rejected: " ^ reason)]. *)
+
+val shutdown : ?drain:bool -> t -> unit
+(** Stop admitting and shut the worker pool down. With [~drain:true]
+    (default) every admitted session runs to completion first; with
+    [~drain:false] queued-but-unstarted sessions complete immediately as
+    {!S_cancelled} (their tenant fuel reservation is refunded in full).
+    Idempotent. *)
+
+type stats = {
+  admitted : int;
+  rejected : int;
+  completed : int;
+  quota_kills : int;
+  cancelled : int;
+  registry : Registry.stats;
+  tenant_fuel_left : (string * int) list;  (** sorted by tenant name *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,55 @@
+(** Content-addressed warm-cache registry with single-flight builds.
+
+    The registry maps snapshot {!Persist.Snapshot.fingerprint}s (config
+    fingerprint + workload image digest) to published translation-cache
+    snapshots. The first session to {!acquire} a fingerprint is told to
+    {!val-admission.Build}; every concurrent session for the same
+    fingerprint blocks until the builder {!publish}es (and then
+    warm-starts from the shared snapshot) or {!abandon}s (and then one of
+    the waiters becomes the new builder). A fingerprint is therefore
+    translated at most once per successful run — never concurrently, and
+    never re-translated after a publish.
+
+    Deadlock-freedom contract: callers must [acquire] from the job that
+    will itself perform the build, so a [Building] slot only ever exists
+    while its builder is actively running; waiters always wait on live
+    progress. Builders must call exactly one of [publish]/[abandon]. *)
+
+type t
+
+type admission =
+  | Warm of Persist.Snapshot.t
+      (** A published snapshot: warm-start from it; no translation. *)
+  | Build
+      (** Caller owns the build: translate cold, then [publish] the
+          resulting snapshot on success or [abandon] on failure. *)
+
+val create : ?dir:string -> unit -> t
+(** In-memory registry; with [~dir], published snapshots are also spilled
+    to [dir] (created if missing) and cache misses consult it first, so a
+    restarted daemon warm-starts from the previous run's publishes. *)
+
+val acquire : t -> Persist.Snapshot.fingerprint -> admission
+(** Blocks while another session is building the same fingerprint. *)
+
+val publish : t -> Persist.Snapshot.t -> unit
+(** Install a built snapshot and wake all waiters. First publish wins:
+    a fingerprint already [Ready] is never replaced, so readers can
+    never observe a torn or superseded snapshot. *)
+
+val abandon : t -> Persist.Snapshot.fingerprint -> unit
+(** Give up a build (guest faulted, quota killed it, ...). The slot is
+    cleared and waiters re-race: exactly one becomes the next builder.
+    Abandoned builds never seed warm starts — partially-populated caches
+    are discarded with the VM that built them. *)
+
+type stats = {
+  warm_hits : int;  (** [acquire] calls answered [Warm] *)
+  cold_builds : int;  (** [acquire] calls answered [Build] *)
+  build_waits : int;  (** [acquire] calls that blocked on a builder *)
+  abandons : int;
+  disk_loads : int;  (** misses satisfied from [~dir] spill files *)
+  ready : int;  (** fingerprints currently published *)
+}
+
+val stats : t -> stats

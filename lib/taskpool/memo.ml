@@ -1,0 +1,82 @@
+(* Single-flight memo table: one mutex guards the key->cell map; each cell
+   has its own mutex/condition so waiters of one flight don't contend with
+   lookups of other keys. *)
+
+type 'v state =
+  | Running
+  | Done of 'v
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'v cell = {
+  cm : Mutex.t;
+  cc : Condition.t;
+  mutable state : 'v state;
+}
+
+type ('k, 'v) t = {
+  tm : Mutex.t;
+  tbl : ('k, 'v cell) Hashtbl.t;
+}
+
+let create n = { tm = Mutex.create (); tbl = Hashtbl.create n }
+
+let wait cell =
+  Mutex.lock cell.cm;
+  while cell.state = Running do
+    Condition.wait cell.cc cell.cm
+  done;
+  let st = cell.state in
+  Mutex.unlock cell.cm;
+  match st with
+  | Running -> assert false
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let settle cell st =
+  Mutex.lock cell.cm;
+  cell.state <- st;
+  Condition.broadcast cell.cc;
+  Mutex.unlock cell.cm
+
+let find_or_compute t key f =
+  Mutex.lock t.tm;
+  match Hashtbl.find_opt t.tbl key with
+  | Some cell ->
+    Mutex.unlock t.tm;
+    wait cell
+  | None ->
+    let cell =
+      { cm = Mutex.create (); cc = Condition.create (); state = Running }
+    in
+    Hashtbl.replace t.tbl key cell;
+    Mutex.unlock t.tm;
+    (match f () with
+    | v ->
+      settle cell (Done v);
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (* waiters of this flight share the failure, but the key is removed
+         so a later request retries rather than caching the error *)
+      Mutex.lock t.tm;
+      Hashtbl.remove t.tbl key;
+      Mutex.unlock t.tm;
+      settle cell (Failed (e, bt));
+      Printexc.raise_with_backtrace e bt)
+
+let mem t key =
+  Mutex.lock t.tm;
+  let r = Hashtbl.mem t.tbl key in
+  Mutex.unlock t.tm;
+  r
+
+let length t =
+  Mutex.lock t.tm;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.tm;
+  n
+
+let clear t =
+  Mutex.lock t.tm;
+  Hashtbl.reset t.tbl;
+  Mutex.unlock t.tm

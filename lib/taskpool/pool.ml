@@ -1,0 +1,124 @@
+(* Fixed-size worker pool over stdlib Domains.
+
+   One mutex/condition pair guards the job queue; each future carries its
+   own pair so awaiting never contends with submission. Workers block on
+   [nonempty] until a job or shutdown arrives; [shutdown] lets the queue
+   drain before joining, so every submitted future completes — or, with
+   [~reject_queued:true], fills every queued-but-unstarted future with
+   [Cancelled] before joining, so a drain path that must stop *now* still
+   leaves no awaiter hanging. *)
+
+exception Cancelled
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+(* A queued job knows how to run and how to be rejected without running:
+   [cancel] fills the job's future with [Cancelled], which is the only
+   way a submitted future can complete without its closure executing. *)
+type job = { run : unit -> unit; cancel : unit -> unit }
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let fill fut st =
+  Mutex.lock fut.fm;
+  fut.state <- st;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let await fut =
+  Mutex.lock fut.fm;
+  while fut.state = Pending do
+    Condition.wait fut.fc fut.fm
+  done;
+  let st = fut.state in
+  Mutex.unlock fut.fm;
+  match st with
+  | Pending -> assert false
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.nonempty t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* stopping, queue drained *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    job.run ();
+    worker_loop t
+  end
+
+let create ?jobs () =
+  let n =
+    max 1 (match jobs with Some j -> j | None -> Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init n (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = Array.length t.workers
+
+let submit t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let run () =
+    match f () with
+    | v -> fill fut (Done v)
+    | exception e -> fill fut (Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  let cancel () = fill fut (Failed (Cancelled, Printexc.get_callstack 0)) in
+  Mutex.lock t.m;
+  if t.stopping then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push { run; cancel } t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.m;
+  fut
+
+let shutdown ?(reject_queued = false) t =
+  Mutex.lock t.m;
+  let was_stopping = t.stopping in
+  t.stopping <- true;
+  (* With [reject_queued], unstarted jobs are popped under the pool lock —
+     before any worker can race for them — and their futures are filled
+     outside it (each future has its own lock). In-flight jobs always run
+     to completion; the deterministic split is started/not-started. *)
+  let rejected = ref [] in
+  if reject_queued then
+    while not (Queue.is_empty t.queue) do
+      rejected := Queue.pop t.queue :: !rejected
+    done;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  List.iter (fun job -> job.cancel ()) (List.rev !rejected);
+  if not was_stopping then Array.iter Domain.join t.workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

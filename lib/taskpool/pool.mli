@@ -1,0 +1,47 @@
+(** Fixed-size worker pool over stdlib [Domain]s.
+
+    Jobs submitted with [submit] are executed by [size t] worker domains in
+    FIFO order; [await] blocks until the job's result (or exception) is
+    available. Exceptions raised by a job are re-raised, with their
+    original backtrace, in every domain that awaits its future.
+
+    A pool of size 1 still runs jobs on a single dedicated worker domain,
+    so the execution environment is identical at every [--jobs] setting;
+    determinism of results must come from the jobs themselves (all
+    simulation runs here are deterministic and share no mutable state). *)
+
+type t
+
+type 'a future
+
+exception Cancelled
+(** Raised by [await] on a future whose job was rejected — still queued,
+    never started — when the pool was shut down with [~reject_queued:true]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [max 1 jobs] worker domains.
+    Default: [Domain.recommended_domain_count ()]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a job. Raises [Invalid_argument] on a shut-down pool. *)
+
+val await : 'a future -> 'a
+(** Block until the job completes; returns its value or re-raises its
+    exception. May be called from any domain, any number of times. *)
+
+val shutdown : ?reject_queued:bool -> t -> unit
+(** Stop the pool and join the workers. Idempotent.
+
+    By default every queued job still runs to completion before the
+    workers exit (drain semantics). With [~reject_queued:true], jobs that
+    have not yet been picked up by a worker are removed from the queue and
+    their futures fail with {!Cancelled}; jobs already running always
+    finish. Either way, every future ever returned by [submit] completes —
+    no awaiter is left hanging. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] over a fresh pool and shuts it down afterwards,
+    also on exception. *)

@@ -15,6 +15,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
       ("pool", Test_pool.suite);
+      ("service", Test_service.suite);
       ("oracle", Test_oracle.suite);
       ("superop", Test_superop.suite);
       ("exec_closure", Test_exec_closure.suite);

@@ -49,6 +49,65 @@ let test_submit_after_shutdown () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* shutdown ~reject_queued: with the single worker pinned on a blocking
+   job, queued futures can never have started; a drain-less shutdown must
+   fail them all with Cancelled promptly — while the worker is still
+   running — and the in-flight job must still complete normally. *)
+let test_shutdown_rejects_queued () =
+  let pool = Harness.Pool.create ~jobs:1 () in
+  let gate = Mutex.create () in
+  let turn = Condition.create () in
+  let running = ref false in
+  let release = ref false in
+  let blocker =
+    Harness.Pool.submit pool (fun () ->
+        Mutex.lock gate;
+        running := true;
+        Condition.broadcast turn;
+        while not !release do
+          Condition.wait turn gate
+        done;
+        Mutex.unlock gate;
+        "ran")
+  in
+  Mutex.lock gate;
+  while not !running do
+    Condition.wait turn gate
+  done;
+  Mutex.unlock gate;
+  let queued =
+    List.init 5 (fun i -> Harness.Pool.submit pool (fun () -> string_of_int i))
+  in
+  (* shutdown on another domain: it cancels the queued futures, then
+     blocks joining the worker until the blocker is released *)
+  let stopper =
+    Domain.spawn (fun () -> Harness.Pool.shutdown ~reject_queued:true pool)
+  in
+  (* deterministic rejection: these awaits return (with Cancelled) while
+     the only worker is still occupied — no hang, no execution *)
+  List.iteri
+    (fun i fut ->
+      match Harness.Pool.await fut with
+      | v -> Alcotest.failf "queued job %d ran: %s" i v
+      | exception Harness.Pool.Cancelled -> ())
+    queued;
+  Mutex.lock gate;
+  release := true;
+  Condition.broadcast turn;
+  Mutex.unlock gate;
+  Domain.join stopper;
+  check Alcotest.string "in-flight job still completed" "ran"
+    (Harness.Pool.await blocker)
+
+(* default shutdown still drains: queued jobs run to completion *)
+let test_shutdown_drains_queued () =
+  let pool = Harness.Pool.create ~jobs:1 () in
+  let futs = List.init 20 (fun i -> Harness.Pool.submit pool (fun () -> i)) in
+  Harness.Pool.shutdown pool;
+  List.iteri
+    (fun i fut -> check Alcotest.int "drained job" i (Harness.Pool.await fut))
+    futs
+
 (* many producers from distinct domains: all jobs complete exactly once *)
 let test_pool_under_contention () =
   let counter = Atomic.make 0 in
@@ -164,6 +223,9 @@ let suite =
     ("pool: exception propagation", `Quick, test_exception_propagation);
     ("pool: default size + double shutdown", `Quick, test_pool_size_default);
     ("pool: submit after shutdown", `Quick, test_submit_after_shutdown);
+    ("pool: shutdown rejects queued futures", `Quick,
+     test_shutdown_rejects_queued);
+    ("pool: shutdown drains by default", `Quick, test_shutdown_drains_queued);
     ("pool: contention", `Quick, test_pool_under_contention);
     ("memo: basics", `Quick, test_memo_basic);
     ("memo: single-flight under contention", `Quick,
