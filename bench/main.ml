@@ -352,6 +352,58 @@ let run_service_load fmt ~scale =
     exit 1
   end
 
+(* ---------- quantized NN inference (cross-engine, checksum-verified) ---------- *)
+
+(* Not a paper experiment: the nn_* kernels under all three accumulator
+   engines plus the straightening backend, gated on the per-layer
+   checksums agreeing everywhere. Exit status 1 on any divergence, so CI
+   can gate on it (@nn-smoke). *)
+let run_nn fmt ~scale ~repeats =
+  let rows = Harness.Nn_bench.sweep ~scale ~repeats () in
+  ignore (Harness.Nn_bench.render fmt rows);
+  Format.pp_print_flush fmt ();
+  Option.iter
+    (fun path ->
+      Harness.Nn_bench.write_json path ~jobs:1 ~scale
+        ~fuel:Harness.Nn_bench.default_fuel ~repeats rows;
+      Printf.printf "wrote %s\n" path)
+    !bench_json;
+  if List.exists (fun (r : Harness.Nn_bench.row) -> r.mismatches <> []) rows
+  then begin
+    prerr_endline "nn-inference: engines disagree on NN kernel checksums";
+    exit 1
+  end
+
+(* ---------- adversarial stress (telemetry-gated, interpreter-verified) ---------- *)
+
+(* Not a paper experiment: the three stress arms against configurations
+   chosen to let each hit its target mechanism, with translator-health
+   telemetry recorded and every run verified against the golden
+   interpreter. Exit status 1 if any arm diverges or misses its target,
+   so CI can gate on it (@stress-smoke). *)
+let run_stress fmt ~scale =
+  let s = Harness.Stress_bench.sweep ~scale () in
+  Harness.Stress_bench.render fmt s;
+  Format.pp_print_flush fmt ();
+  Option.iter
+    (fun path ->
+      Harness.Stress_bench.write_json path ~jobs:1 ~scale
+        ~fuel:Harness.Stress_bench.default_fuel s;
+      Printf.printf "wrote %s\n" path)
+    !bench_json;
+  if
+    List.exists
+      (fun (r : Harness.Stress_bench.row) -> r.s_mismatches <> [])
+      (s.reference :: s.arms)
+  then begin
+    prerr_endline "stress: a stress arm diverged from the golden interpreter";
+    exit 1
+  end;
+  if not (Harness.Stress_bench.all_targets_met s) then begin
+    prerr_endline "stress: an arm no longer hits its target mechanism";
+    exit 1
+  end
+
 (* Plan -> parallel cache warm -> serial render. The render functions only
    read memoised results, so console output is byte-identical at any job
    count; rows are formatted in the same order as a serial run. *)
@@ -372,6 +424,37 @@ let run_experiments fmt exps ~scale =
         (fun path -> write_bench_json path ~jobs ~scale timings)
         !bench_json)
 
+(* ---------- special (non-registry) experiments ----------
+
+   Engine/infrastructure gates that live outside the paper-table registry
+   in Harness.Experiments: each entry is (id, description, runner), and
+   both --list and the -e dispatch are driven from this one table, so an
+   experiment added here can never be silently missing from --list. *)
+let specials () : (string * string * (Format.formatter -> unit)) list =
+  [
+    ("functional-throughput",
+     "VM execution-engine throughput (threaded vs. match), verified",
+     fun fmt -> run_throughput fmt ~scale:!scale ~repeats:!repeats);
+    ("region-throughput",
+     "region tier-up engine throughput (three-way, verified)",
+     fun fmt -> run_region_throughput fmt ~scale:!scale ~repeats:!repeats);
+    ("timing-fastfwd",
+     "sampled vs full-fidelity ILDP timing, accuracy-gated",
+     fun fmt -> run_timing fmt ~scale:(timing_scale ()) ~interval:!sample_interval);
+    ("persist",
+     "cold vs warm start from a translation-cache snapshot, verified",
+     fun fmt -> run_persist fmt ~scale:!scale);
+    ("service-load",
+     "translation-service session load over the warm-cache registry, verified",
+     fun fmt -> run_service_load fmt ~scale:!scale);
+    ("nn-inference",
+     "quantized NN kernels across all engines and backends, checksum-verified",
+     fun fmt -> run_nn fmt ~scale:!scale ~repeats:!repeats);
+    ("stress",
+     "adversarial stress arms with translator-health telemetry, target-gated",
+     fun fmt -> run_stress fmt ~scale:!scale);
+  ]
+
 (* ---------- baseline regression check (--check, CI gate) ---------- *)
 
 let run_check path =
@@ -390,9 +473,11 @@ let run_check path =
     Harness.Service_bench.run_load ~sessions ~images ~scale:!scale
       ~jobs:(effective_jobs ()) ~seed ()
   in
+  let nn_sweep () = Harness.Nn_bench.sweep ~scale:!scale ~repeats:!repeats () in
+  let stress_sweep () = Harness.Stress_bench.sweep ~scale:!scale () in
   let r =
     Harness.Check.run ~tol:!check_tol ~ids ~sweep ~region_sweep ~timing_sweep
-      ~service_sweep path
+      ~service_sweep ~nn_sweep ~stress_sweep path
   in
   Printf.printf "check %s (tol ±%.0f%%)\n" path (100.0 *. !check_tol);
   List.iter print_endline r.Harness.Check.lines;
@@ -419,17 +504,9 @@ let () =
     List.iter
       (fun (e : Harness.Experiments.exp) -> Printf.printf "%-8s %s\n" e.id e.desc)
       Harness.Experiments.all;
-    Printf.printf "%-8s %s\n" "functional-throughput"
-      "VM execution-engine throughput (threaded vs. match), verified";
-    Printf.printf "%-8s %s\n" "region-throughput"
-      "region tier-up engine throughput (three-way, verified)";
-    Printf.printf "%-8s %s\n" "timing-fastfwd"
-      "sampled vs full-fidelity ILDP timing, accuracy-gated";
-    Printf.printf "%-8s %s\n" "persist"
-      "cold vs warm start from a translation-cache snapshot, verified";
-    Printf.printf "%-8s %s\n" "service-load"
-      "translation-service session load over the warm-cache registry, \
-       verified"
+    List.iter
+      (fun (id, desc, _) -> Printf.printf "%-8s %s\n" id desc)
+      (specials ())
   end
   else if !bechamel then run_bechamel ()
   else if !csv_dir <> None then begin
@@ -457,20 +534,17 @@ let () =
       (List.length Workloads.all) !scale
       (String.concat " " (Harness.Experiments.names ()));
     (match !experiment with
-    | Some "functional-throughput" ->
-      run_throughput fmt ~scale:!scale ~repeats:!repeats
-    | Some "region-throughput" ->
-      run_region_throughput fmt ~scale:!scale ~repeats:!repeats
-    | Some "timing-fastfwd" ->
-      run_timing fmt ~scale:(timing_scale ()) ~interval:!sample_interval
-    | Some "persist" -> run_persist fmt ~scale:!scale
-    | Some "service-load" -> run_service_load fmt ~scale:!scale
     | Some id -> (
-      match Harness.Experiments.find id with
-      | Some e -> run_experiments fmt [ e ] ~scale:!scale
-      | None ->
-        Format.fprintf fmt "unknown experiment %S; use --list@." id;
-        exit 1)
+      match
+        List.find_opt (fun (sid, _, _) -> sid = id) (specials ())
+      with
+      | Some (_, _, runner) -> runner fmt
+      | None -> (
+        match Harness.Experiments.find id with
+        | Some e -> run_experiments fmt [ e ] ~scale:!scale
+        | None ->
+          Format.fprintf fmt "unknown experiment %S; use --list@." id;
+          exit 1))
     | None -> run_experiments fmt Harness.Experiments.all ~scale:!scale);
     Format.pp_print_flush fmt ()
   end

@@ -100,10 +100,10 @@ type report = {
    ddmin (the predicate re-runs the oracle on the rendered subset) and
    re-derive the report from the minimized program. *)
 let run_seed_mode ~granularity ~threaded ~region ~superops ~flush_every
-    ~warm_start seed mode (prog : Oracle.Gen.program) =
+    ~tcache_max_slots ~warm_start seed mode (prog : Oracle.Gen.program) =
   let go blocks =
     Oracle.Lockstep.run ~granularity ~threaded ~region ~superops ~flush_every
-      ~warm_start ~mode
+      ~tcache_max_slots ~warm_start ~mode
       (Oracle.Gen.assemble ~blocks prog)
   in
   match go prog.blocks with
@@ -132,8 +132,8 @@ let run_seed_mode ~granularity ~threaded ~region ~superops ~flush_every
       }
 
 (* A shard of contiguous seeds processed on one worker domain. *)
-let run_shard ~modes ~granularity ~threaded ~region ~superops ~flush_every
-    ~warm_start ~deadline seeds =
+let run_shard ~gen ~modes ~granularity ~threaded ~region ~superops
+    ~flush_every ~tcache_max_slots ~warm_start ~deadline seeds =
   let tot = totals_zero () in
   let reports = ref [] in
   let errors = ref [] in
@@ -142,7 +142,7 @@ let run_shard ~modes ~granularity ~threaded ~region ~superops ~flush_every
     (fun seed ->
       if Unix.gettimeofday () < deadline then begin
         incr processed;
-        let prog = Oracle.Gen.generate ~seed in
+        let prog : Oracle.Gen.program = gen ~seed in
         (* rotate flush injection through part of the seed space so the
            flush path is always covered, unless forced via --flush-every *)
         let flush_every =
@@ -154,7 +154,7 @@ let run_shard ~modes ~granularity ~threaded ~region ~superops ~flush_every
           (fun mode ->
             match
               run_seed_mode ~granularity ~threaded ~region ~superops
-                ~flush_every ~warm_start seed mode prog
+                ~flush_every ~tcache_max_slots ~warm_start seed mode prog
             with
             | Ok c -> add_cov tot c
             | Error r -> reports := r :: !reports
@@ -183,7 +183,7 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~region
-    ~superops ~warm_start ~tot ~reports ~errors =
+    ~superops ~stress ~warm_start ~tot ~reports ~errors =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"ildp-dbt-fuzz/1\",\n";
@@ -192,6 +192,7 @@ let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~region
      else if region then "region"
      else if threaded then "threaded"
      else "instrumented");
+  p "  \"generator\": \"%s\",\n" (if stress then "stress" else "oracle");
   p "  \"warm_start\": %b,\n" warm_start;
   p "  \"programs\": %d,\n" programs;
   p "  \"seed_range\": [%d, %d],\n" seed (seed + count - 1);
@@ -241,13 +242,14 @@ let write_json oc ~programs ~seed ~count ~jobs ~modes ~threaded ~region
 (* One file per divergence, named so a directory aggregating several fuzz
    arms stays collision-free: the minimized source plus the rendered
    divergence, ready to re-run with `ildp_run FILE.s`. *)
-let write_repros dir ~threaded ~region ~superops ~warm_start reports =
+let write_repros dir ~threaded ~region ~superops ~stress ~warm_start reports =
   if reports <> [] then begin
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let arm =
       String.concat ""
         [ (if superops then "-superop" else if region then "-region"
            else if threaded then "-threaded" else "");
+          (if stress then "-stress" else "");
           (if warm_start then "-warm" else "") ]
     in
     List.iter
@@ -267,8 +269,8 @@ let write_repros dir ~threaded ~region ~superops ~warm_start reports =
       reports
   end
 
-let run count seed minutes jobs modes_arg flush_every per_insn threaded region
-    superops warm_start json_path repro_dir quiet =
+let run count seed minutes jobs modes_arg flush_every tcache_cap per_insn
+    threaded region superops stress warm_start json_path repro_dir quiet =
   let modes =
     if modes_arg = "all" then Oracle.Lockstep.all_modes
     else
@@ -293,6 +295,8 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded region
     Unix.gettimeofday ()
     +. (if minutes > 0.0 then minutes *. 60.0 else infinity)
   in
+  let gen = if stress then Stress.generate else Oracle.Gen.generate in
+  let tcache_max_slots = if tcache_cap > 0 then tcache_cap else max_int in
   let seeds = List.init count (fun i -> seed + i) in
   (* contiguous shards, a few per worker so early finishers stay busy *)
   let n_shards = max 1 (min count (jobs * 4)) in
@@ -304,8 +308,9 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded region
         Array.to_list shards
         |> List.map (fun shard ->
                Harness.Pool.submit pool (fun () ->
-                   run_shard ~modes ~granularity ~threaded ~region ~superops
-                     ~flush_every ~warm_start ~deadline (List.rev shard)))
+                   run_shard ~gen ~modes ~granularity ~threaded ~region
+                     ~superops ~flush_every ~tcache_max_slots ~warm_start
+                     ~deadline (List.rev shard)))
         |> List.map (Harness.Pool.await))
   in
   let tot = totals_zero () in
@@ -338,7 +343,7 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded region
   end;
   let emit oc =
     write_json oc ~programs:!programs ~seed ~count ~jobs ~modes ~threaded
-      ~region ~superops ~warm_start ~tot ~reports ~errors:!errors
+      ~region ~superops ~stress ~warm_start ~tot ~reports ~errors:!errors
   in
   (match json_path with
   | "-" -> emit stdout
@@ -348,7 +353,7 @@ let run count seed minutes jobs modes_arg flush_every per_insn threaded region
     close_out oc);
   Option.iter
     (fun dir ->
-      write_repros dir ~threaded ~region ~superops ~warm_start reports)
+      write_repros dir ~threaded ~region ~superops ~stress ~warm_start reports)
     repro_dir;
   if reports <> [] || !errors <> [] then exit 1
 
@@ -375,6 +380,12 @@ let cmd =
            ~doc:"Inject Vm.flush every N segment boundaries in every run \
                  (default: every 3rd boundary on a quarter of the seeds).")
   in
+  let tcache_cap =
+    Arg.(value & opt int 0 & info [ "tcache-cap" ]
+           ~doc:"Bound the translation cache to N slots so capacity-policy \
+                 whole-cache flushes (and the region/fused invalidations \
+                 they force) run under lockstep (0 = unbounded).")
+  in
   let per_insn =
     Arg.(value & opt bool true & info [ "per-insn" ]
            ~doc:"Also compare registers after every retired V-ISA \
@@ -399,6 +410,12 @@ let cmd =
                  specialized block bodies, idiom-template arms, mid-block \
                  fault unwinds — against the golden interpreter (implies \
                  --region).")
+  in
+  let stress =
+    Arg.(value & flag & info [ "stress" ]
+           ~doc:"Generate programs with the adversarial stress arms \
+                 (flush-storm, megamorphic indirect jumps, deep call \
+                 towers) instead of the broad oracle generator.")
   in
   let warm_start =
     Arg.(value & flag & info [ "warm-start" ]
@@ -425,7 +442,7 @@ let cmd =
        ~doc:"Differential fuzzing of the DBT against the Alpha interpreter")
     Term.(
       const run $ count $ seed $ minutes $ jobs $ modes $ flush_every
-      $ per_insn $ threaded $ region $ superops $ warm_start $ json
-      $ repro_dir $ quiet)
+      $ tcache_cap $ per_insn $ threaded $ region $ superops $ stress
+      $ warm_start $ json $ repro_dir $ quiet)
 
 let () = exit (Cmd.eval cmd)

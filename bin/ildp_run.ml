@@ -28,12 +28,17 @@ let load_program src scale =
   else
     match Workloads.find src with
     | Some w -> Workloads.program ~scale w
-    | None ->
-      Printf.eprintf
-        "unknown workload %S (expected one of: %s, or a .mc/.s file)\n" src
-        (String.concat " "
-           (List.map (fun (w : Workloads.t) -> w.name) Workloads.all));
-      exit 2
+    | None -> (
+      (* the stress_* names are assembled generator programs, not MiniC *)
+      match Stress.find_workload src with
+      | Some build -> build ~scale
+      | None ->
+        Printf.eprintf
+          "unknown workload %S (expected one of: %s, or a .mc/.s file)\n" src
+          (String.concat " "
+             (List.map (fun (w : Workloads.t) -> w.name) Workloads.all
+             @ Stress.workload_names));
+        exit 2)
 
 let show_outcome buf = function
   | Core.Vm.Exit c -> Printf.bprintf buf "exit code      : %d\n" c

@@ -59,6 +59,13 @@ type t = {
      closure — no per-slot indirect calls — applying profile-mined idiom
      templates (see {!Superop}). Observationally identical to the
      unfused region tier; default on. *)
+  tcache_max_slots : int;
+  (* translation-cache capacity in I-ISA slots. When a translation pushes
+     the cache past this bound the VM flushes everything Dynamo-style
+     (fragments, regions, fused blocks, chain patches, RAS) and rebuilds
+     from the interpreter — the real-VM policy an unbounded cache never
+     exercises. Default [max_int]: effectively unbounded, the historical
+     behaviour. *)
 }
 
 let default =
@@ -74,6 +81,7 @@ let default =
     region_threshold = 100;
     region_max_slots = 1024;
     superops = true;
+    tcache_max_slots = max_int;
   }
 
 (* Process-wide telemetry switch (an alias of [Obs.enabled], so flipping
@@ -114,5 +122,6 @@ let fingerprint cfg ~backend ~image_digest : Persist.Snapshot.fingerprint =
     fp_region_threshold = cfg.region_threshold;
     fp_region_max_slots = cfg.region_max_slots;
     fp_superops = cfg.superops;
+    fp_tcache_max_slots = cfg.tcache_max_slots;
     fp_image_digest = image_digest;
   }

@@ -54,6 +54,11 @@ type t = {
           promoted block's slot chain into one specialized closure with
           profile-mined idiom templates (see {!Superop}). Observationally
           identical to the unfused region tier; default on. *)
+  tcache_max_slots : int;
+      (** translation-cache capacity in I-ISA slots: exceeding it after a
+          translation triggers a Dynamo-style whole-cache flush (fragments,
+          regions, fused blocks, chain patches, RAS) and a rebuild from the
+          interpreter. Default [max_int] — effectively unbounded. *)
 }
 
 val default : t

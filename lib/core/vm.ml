@@ -39,6 +39,9 @@ type seg_stats = {
   mutable trap_recoveries : int;
   mutable fuel_stops : int;
   mutable flushes : int;
+  mutable capacity_flushes : int;  (* flushes forced by tcache_max_slots *)
+  mutable region_invalidations : int;  (* promoted regions killed by those *)
+  mutable fused_invalidations : int;  (* fused blocks killed by those *)
 }
 
 type t = {
@@ -81,7 +84,9 @@ let create_cold ?annotate ~cfg ~kind prog =
     interp_insns = 0; superblocks = 0;
     segs =
       { branch_exits = 0; pal_exits = 0; dispatch_misses = 0;
-        trap_recoveries = 0; fuel_stops = 0; flushes = 0 };
+        trap_recoveries = 0; fuel_stops = 0; flushes = 0;
+        capacity_flushes = 0; region_invalidations = 0;
+        fused_invalidations = 0 };
     last_seg = None }
 
 let cost t =
@@ -130,6 +135,35 @@ let dual_ras t =
   match t.backend with
   | B_acc (_, ex) -> ex.Exec_acc.dras
   | B_straight (_, ex) -> ex.Exec_straight.dras
+
+(* Capacity policy (Dynamo-style): a bounded translation cache is flushed
+   wholesale the moment a translation pushes it past the configured slot
+   budget — fragments, promoted regions and fused blocks all die together
+   and the VM rebuilds from the interpreter's profile. Checked after each
+   translation (between VM steps, where a flush is safe). The invalidation
+   counts are recorded here, at flush time, because the dead regions/fused
+   blocks are no longer observable once [flush] returns. *)
+let capacity_flush_check t =
+  if t.cfg.tcache_max_slots < max_int then begin
+    let slots =
+      match t.backend with
+      | B_acc (ctx, _) -> Tcache.Acc.n_slots ctx.tc
+      | B_straight (ctx, _) -> Tcache.Straight.n_slots ctx.tc
+    in
+    if slots > t.cfg.tcache_max_slots then begin
+      let regions, fused =
+        match t.backend with
+        | B_acc (_, ex) ->
+          (Exec_acc.region_count ex, Exec_acc.fused_block_count ex)
+        | B_straight (_, ex) ->
+          (Exec_straight.region_count ex, Exec_straight.fused_block_count ex)
+      in
+      t.segs.capacity_flushes <- t.segs.capacity_flushes + 1;
+      t.segs.region_invalidations <- t.segs.region_invalidations + regions;
+      t.segs.fused_invalidations <- t.segs.fused_invalidations + fused;
+      flush t
+    end
+  end
 
 (* The dual-address RAS is a hardware structure: it observes calls and
    returns executed by the VM's interpreter too (in the real co-designed VM
@@ -301,7 +335,9 @@ let run ?sink ?boundary ?(fuel = max_int) t : outcome =
             Cost.tick_interp (cost t) (formed * Cost.interp_step);
             (cost t).interp_insns <- (cost t).interp_insns + formed;
             (match stop with
-            | Superblock.Stop_end -> translate t sb
+            | Superblock.Stop_end ->
+              translate t sb;
+              capacity_flush_check t
             | Superblock.Stop_halt c -> result := Some (Exit c)
             | Superblock.Stop_trap tr -> result := Some (Fault tr));
             candidate := true
@@ -362,6 +398,9 @@ let c_seg_dmiss = Obs.counter "vm.seg.dispatch_misses"
 let c_seg_trap = Obs.counter "vm.seg.trap_recoveries"
 let c_seg_fuel = Obs.counter "vm.seg.fuel_stops"
 let c_flushes = Obs.counter "vm.flushes"
+let c_capacity_flushes = Obs.counter "vm.capacity_flushes"
+let c_region_invalidations = Obs.counter "vm.flush.region_invalidations"
+let c_fused_invalidations = Obs.counter "vm.flush.fused_invalidations"
 let c_cost_xunits = Obs.counter "cost.translate_units"
 let c_cost_iunits = Obs.counter "cost.interp_units"
 let c_cost_xinsns = Obs.counter "cost.translated_insns"
@@ -371,6 +410,7 @@ let c_alpha = Obs.counter "engine.alpha_retired"
 let c_frag_enters = Obs.counter "engine.frag_enters"
 let c_dras_hits = Obs.counter "engine.ret_dras_hits"
 let c_dras_misses = Obs.counter "engine.ret_dras_misses"
+let c_dras_overflows = Obs.counter "engine.dras_overflows"
 
 let c_class =
   [|
@@ -395,6 +435,9 @@ let publish_obs t =
     Obs.bump c_seg_trap t.segs.trap_recoveries;
     Obs.bump c_seg_fuel t.segs.fuel_stops;
     Obs.bump c_flushes t.segs.flushes;
+    Obs.bump c_capacity_flushes t.segs.capacity_flushes;
+    Obs.bump c_region_invalidations t.segs.region_invalidations;
+    Obs.bump c_fused_invalidations t.segs.fused_invalidations;
     let cost = cost t in
     Obs.bump c_cost_xunits cost.Cost.translate_units;
     Obs.bump c_cost_iunits cost.Cost.interp_units;
@@ -416,6 +459,7 @@ let publish_obs t =
     Obs.bump c_frag_enters enters;
     Obs.bump c_dras_hits dh;
     Obs.bump c_dras_misses dm;
+    Obs.bump c_dras_overflows (dual_ras t).Machine.Dual_ras.overflows;
     Array.iteri (fun i c -> Obs.bump c_class.(i) c) by_class;
     match t.backend with
     | B_acc (ctx, _) ->

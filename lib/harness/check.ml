@@ -397,6 +397,143 @@ let check_service ~tol doc (service_sweep : sessions:int -> images:int ->
   | _ -> failf ok lines "baseline: malformed service document");
   { ok = !ok; lines = List.rev !lines }
 
+(* ---- NN inference bench ---- *)
+
+(* Gate for BENCH_nn.json: re-runs the NN sweep and demands every kernel
+   still verify (all three accumulator engines byte-identical in state
+   and statistics, the straightening backend identical in guest output)
+   and — the strongest gate available — that the per-layer checksums the
+   kernel prints match the baseline exactly. The checksums fold every
+   requantized activation, are deterministic, and are host-independent,
+   so any translation regression in the fixed-point matmul path fails
+   here even if it happens to agree across engines. Speedups follow the
+   exec-bench convention: geomean gated, per-kernel deviations noted. *)
+let check_nn ~tol doc (rows : Nn_bench.row list) =
+  let module J = Obs.Json in
+  let ok = ref true and lines = ref [] in
+  (match Option.bind (J.member "workloads" doc) J.to_list with
+  | None | Some [] ->
+    failf ok lines "baseline: malformed nn document (no workloads)"
+  | Some base ->
+    List.iter
+      (fun b ->
+        let name =
+          Option.value ~default:"?" (Option.bind (J.member "name" b) J.to_str)
+        in
+        match List.find_opt (fun (r : Nn_bench.row) -> r.name = name) rows with
+        | None -> failf ok lines "%s: in baseline but not in current sweep" name
+        | Some r ->
+          if r.mismatches <> [] then
+            failf ok lines "%s: engines disagree: %s" name
+              (String.concat "; " r.mismatches);
+          (match
+             Option.bind (J.member "checksums" b) J.to_list
+             |> Option.map (List.filter_map J.to_int)
+           with
+          | Some cs when cs <> r.checksums ->
+            failf ok lines "%s: checksums [%s] vs baseline [%s]" name
+              (String.concat " " (List.map string_of_int r.checksums))
+              (String.concat " " (List.map string_of_int cs))
+          | Some _ -> ()
+          | None -> failf ok lines "%s: baseline has no checksums" name);
+          (match Option.bind (J.member "speedup" b) J.to_float with
+          | Some bs when rel_exceeds ~tol ~base:bs (Nn_bench.speedup r) ->
+            notef lines "%s: speedup %.2fx vs baseline %.2fx (>±%.0f%%)" name
+              (Nn_bench.speedup r) bs (100.0 *. tol)
+          | _ -> ());
+          match Option.bind (J.member "verified" b) J.to_bool with
+          | Some false ->
+            failf ok lines "%s: baseline itself is marked unverified" name
+          | Some true | None -> ())
+      base;
+    List.iter
+      (fun (r : Nn_bench.row) ->
+        if
+          not
+            (List.exists
+               (fun b -> Option.bind (J.member "name" b) J.to_str = Some r.name)
+               base)
+        then notef lines "%s: new kernel, absent from baseline" r.name)
+      rows;
+    (match Option.bind (J.member "geomean_speedup" doc) J.to_float with
+    | Some base_gm ->
+      let gm = Runner.geomean (List.map Nn_bench.speedup rows) in
+      gate_geomean ~ok ~lines ~tol ~what:"geomean nn speedup" ~base:base_gm gm
+    | None -> ());
+    if !ok then
+      okf lines "all %d NN kernels verified with baseline-exact checksums"
+        (List.length rows));
+  { ok = !ok; lines = List.rev !lines }
+
+(* ---- stress bench ---- *)
+
+(* Gate for BENCH_stress.json: re-runs the three stress arms live and
+   fails unless (a) every arm still agrees with the golden interpreter,
+   and (b) every arm still hits its structural target — flush-storm
+   forces capacity flushes that kill regions and fused blocks,
+   megamorphic keeps chain-class share at least 4x the gzip reference
+   with more dispatch misses, call-tower overflows the dual RAS and
+   drags its hit rate below gzip's. Counter magnitudes are deterministic
+   but config-sensitive, so they are compared as notes, not failures. *)
+let check_stress ~tol doc (s : Stress_bench.sweep_result) =
+  let module J = Obs.Json in
+  let ok = ref true and lines = ref [] in
+  (match Option.bind (J.member "arms" doc) J.to_list with
+  | None | Some [] ->
+    failf ok lines "baseline: malformed stress document (no arms)"
+  | Some base ->
+    List.iter
+      (fun arm ->
+        let name = Stress.arm_name arm in
+        match
+          Option.bind
+            (Option.bind (J.member "targets" doc) (J.member name))
+            J.to_bool
+        with
+        | Some true -> ()
+        | Some false ->
+          failf ok lines "baseline itself records target %S missed" name
+        | None -> failf ok lines "baseline: no target record for %S" name)
+      Stress.all_arms;
+    List.iter
+      (fun b ->
+        let name =
+          Option.value ~default:"?" (Option.bind (J.member "name" b) J.to_str)
+        in
+        match
+          List.find_opt (fun (r : Stress_bench.row) -> r.s_name = name) s.arms
+        with
+        | None -> failf ok lines "%s: in baseline but not in current sweep" name
+        | Some r ->
+          if r.s_mismatches <> [] then
+            failf ok lines "%s: diverged from golden interpreter: %s" name
+              (String.concat "; " r.s_mismatches);
+          (match Option.bind (J.member "v_insns" b) J.to_int with
+          | Some bv when bv <> r.s_retired ->
+            notef lines "%s: retired %d vs baseline %d" name r.s_retired bv
+          | _ -> ());
+          match Option.bind (J.member "chain_share" b) J.to_float with
+          | Some bs
+            when rel_exceeds ~tol ~base:bs r.s_chain_share && bs > 0.01 ->
+            notef lines "%s: chain share %.1f%% vs baseline %.1f%%" name
+              (100.0 *. r.s_chain_share) (100.0 *. bs)
+          | _ -> ())
+      base;
+    List.iter
+      (fun arm ->
+        if not (Stress_bench.target_met s arm) then
+          failf ok lines "live run: %s no longer hits its target"
+            (Stress.arm_name arm))
+      Stress.all_arms;
+    if s.reference.s_mismatches <> [] then
+      failf ok lines "reference workload diverged: %s"
+        (String.concat "; " s.reference.s_mismatches);
+    if !ok then
+      okf lines
+        "all %d stress arms verified against the interpreter, all targets hit"
+        (List.length s.arms));
+  { ok = !ok; lines = List.rev !lines }
+
 (* ---- dispatch ---- *)
 
 let prefixed p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
@@ -404,7 +541,8 @@ let prefixed p s = String.length s >= String.length p && String.sub s 0 (String.
 (* Runs the appropriate check for [path]. [sweep] / [region_sweep] /
    [timing_sweep] produce the current rows on demand (only the matching
    branch pays for its sweep); [ids] is the current experiment registry. *)
-let run ~tol ~ids ~sweep ~region_sweep ~timing_sweep ~service_sweep path =
+let run ~tol ~ids ~sweep ~region_sweep ~timing_sweep ~service_sweep ~nn_sweep
+    ~stress_sweep path =
   match Obs.Json.parse_file path with
   | Error e -> { ok = false; lines = [ Printf.sprintf "FAIL %s: %s" path e ] }
   | Ok doc -> (
@@ -418,5 +556,8 @@ let run ~tol ~ids ~sweep ~region_sweep ~timing_sweep ~service_sweep path =
     | Some s when prefixed "ildp-dbt-persist/" s -> check_persist doc
     | Some s when prefixed "ildp-dbt-service/" s ->
       check_service ~tol doc service_sweep
+    | Some s when prefixed "ildp-dbt-nn/" s -> check_nn ~tol doc (nn_sweep ())
+    | Some s when prefixed "ildp-dbt-stress/" s ->
+      check_stress ~tol doc (stress_sweep ())
     | Some s -> { ok = false; lines = [ Printf.sprintf "FAIL unknown schema %S" s ] }
     | None -> { ok = false; lines = [ "FAIL baseline has no \"schema\" field" ] })

@@ -229,6 +229,7 @@ let json_of_fp (fp : Persist.Snapshot.fingerprint) =
       ("region_threshold", J.Int fp.fp_region_threshold);
       ("region_max_slots", J.Int fp.fp_region_max_slots);
       ("superops", J.Bool fp.fp_superops);
+      ("tcache_max_slots", J.Int fp.fp_tcache_max_slots);
       ("image_digest", J.String fp.fp_image_digest) ]
 
 (* Inverse of {!json_of_fp}, used by the roundtrip tests: the JSON view of
@@ -256,6 +257,9 @@ let fp_of_json doc =
     Option.bind (J.member "region_max_slots" doc) J.to_int
   in
   let* fp_superops = Option.bind (J.member "superops" doc) J.to_bool in
+  let* fp_tcache_max_slots =
+    Option.bind (J.member "tcache_max_slots" doc) J.to_int
+  in
   let* fp_image_digest = Option.bind (J.member "image_digest" doc) J.to_str in
   Some
     {
@@ -271,6 +275,7 @@ let fp_of_json doc =
       fp_region_threshold;
       fp_region_max_slots;
       fp_superops;
+      fp_tcache_max_slots;
       fp_image_digest;
     }
 

@@ -58,6 +58,20 @@ type summary = {
 
 let default_fuel = 100_000_000
 
+(* Curated image pool for the load generator. The default four-image mix
+   deliberately spans workload classes — loop-dominated compression
+   (gzip), a quantized NN inference kernel (nn_mlp), branchy compilation
+   (gcc), and pointer-chasing (mcf) — so the shared warm cache serves
+   heterogeneous images rather than whichever workloads happen to lead
+   the registry. Larger image counts extend with the rest of the registry
+   in order. *)
+let image_pool () =
+  let curated = [ "gzip"; "nn_mlp"; "gcc"; "mcf" ] in
+  List.filter_map Workloads.find curated
+  @ List.filter
+      (fun (w : Workloads.t) -> not (List.mem w.name curated))
+      Workloads.all
+
 (* Serial reference: each image cold, standalone, same config and fuel as
    the service sessions — the ground truth every session must match. *)
 let reference ~cfg ~scale ~fuel (w : Workloads.t) =
@@ -119,9 +133,10 @@ let run_load ?(sessions = 1000) ?(images = 4) ?(tenants = 4) ?(scale = 1)
     ?(fuel = default_fuel) ?tenant_fuel ?jobs ?capacity ?spill_dir ?(seed = 1)
     ?(on_progress = fun _ -> ()) () =
   let cfg = Core.Config.default in
-  let images = max 1 (min images (List.length Workloads.all)) in
+  let pool = image_pool () in
+  let images = max 1 (min images (List.length pool)) in
   let refs =
-    List.filteri (fun i _ -> i < images) Workloads.all
+    List.filteri (fun i _ -> i < images) pool
     |> List.map (reference ~cfg ~scale ~fuel)
     |> Array.of_list
   in

@@ -24,6 +24,7 @@ type t = {
   mutable pushes : int;
   mutable pops : int;
   mutable hits : int;
+  mutable overflows : int;
 }
 
 let create ?(entries = 8) () =
@@ -34,6 +35,7 @@ let create ?(entries = 8) () =
     pushes = 0;
     pops = 0;
     hits = 0;
+    overflows = 0;
   }
 
 let clear t =
@@ -42,6 +44,7 @@ let clear t =
 
 let push t ~v_addr ~i_addr =
   t.pushes <- t.pushes + 1;
+  if t.depth = Array.length t.buf then t.overflows <- t.overflows + 1;
   t.buf.(t.top) <- { v_addr; i_addr };
   t.top <- (t.top + 1) mod Array.length t.buf;
   t.depth <- min (t.depth + 1) (Array.length t.buf)

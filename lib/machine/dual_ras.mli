@@ -19,6 +19,8 @@ type t = {
   mutable pushes : int;
   mutable pops : int;
   mutable hits : int;
+  mutable overflows : int;
+      (** pushes that evicted a live entry (stack already at capacity) *)
 }
 
 val create : ?entries:int -> unit -> t

@@ -9,7 +9,7 @@
 
 type binop =
   | Add | Sub | Mul | Div | Mod
-  | And | Or | Xor | Shl | Shr
+  | And | Or | Xor | Shl | Shr | Lshr (* >> is arithmetic, >>> logical *)
   | Eq | Ne | Lt | Le | Gt | Ge
   | Land | Lor (* short-circuit *)
 

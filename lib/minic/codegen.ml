@@ -237,6 +237,7 @@ and gen_binop f d rd (op : Ast.binop) a b =
   | Xor -> simple "xor"
   | Shl -> simple "sll"
   | Shr -> simple "sra"
+  | Lshr -> simple "srl"
   | Eq -> simple "cmpeq"
   | Ne ->
     simple "cmpeq";

@@ -59,7 +59,13 @@ let rec skip_ws t =
   | _ -> ()
 
 (* Longest-match punctuation. *)
-let puncts2 = [ "=="; "!="; "<="; ">="; "<<"; ">>"; "&&"; "||" ]
+let puncts4 = [ ">>>=" ]
+let puncts3 = [ ">>>"; "<<="; ">>=" ]
+
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "<<"; ">>"; "&&"; "||"; "+="; "-="; "*="; "/=";
+    "%="; "&="; "|="; "^=" ]
+
 let puncts1 = "(){}[];,:=<>+-*/%&|^!~"
 
 let next t : token * int =
@@ -138,10 +144,20 @@ let next t : token * int =
       (STR (Buffer.contents b), line)
     end
     else begin
-      let two =
-        if t.pos + 1 < String.length t.src then String.sub t.src t.pos 2 else ""
+      let slice n =
+        if t.pos + n - 1 < String.length t.src then String.sub t.src t.pos n
+        else ""
       in
-      if List.mem two puncts2 then begin
+      let four = slice 4 and three = slice 3 and two = slice 2 in
+      if List.mem four puncts4 then begin
+        t.pos <- t.pos + 4;
+        (PUNCT four, line)
+      end
+      else if List.mem three puncts3 then begin
+        t.pos <- t.pos + 3;
+        (PUNCT three, line)
+      end
+      else if List.mem two puncts2 then begin
         t.pos <- t.pos + 2;
         (PUNCT two, line)
       end

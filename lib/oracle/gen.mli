@@ -30,6 +30,19 @@ type program = {
 val generate : seed:int -> program
 (** Deterministic in [seed]. *)
 
+val pool : int array
+(** Registers the generator plays with — never sp/ra/at/gp/fp and never
+    the loop scaffolding (t8 counter, t9/t10 scratch, t11 checksum).
+    Exposed so companion generators (the {!Stress} arms) stay inside the
+    same safe set. *)
+
+val reg : Machine.Rng.t -> string
+(** A random register name drawn from [pool]. *)
+
+val alu_lines : Machine.Rng.t -> int -> string list
+(** [n] random two/three-operand ALU, conditional-move and unary lines
+    over [pool] — the shared filler for arm bodies. *)
+
 val source : ?blocks:block list -> program -> string
 (** Render assembly source using [blocks] (default: all of the program's
     blocks). Any subset of the original blocks renders a valid program. *)

@@ -130,7 +130,8 @@ let fragment_at vm i_pc =
 
 let run ?(granularity = Boundary) ?(threaded = false) ?(region = false)
     ?(superops = false) ?(flush_every = 0) ?(fuel = 50_000_000)
-    ?(hot_threshold = 10) ?(warm_start = false) ?corrupt ~mode prog =
+    ?(hot_threshold = 10) ?(tcache_max_slots = max_int) ?(warm_start = false)
+    ?corrupt ~mode prog =
   (* [superops] subsumes [region] (fusion only happens at region promote)
      and [region] subsumes [threaded]: all run sink-less so the VM takes a
      non-instrumented engine. [region] alone pins cfg.superops off so the
@@ -151,7 +152,7 @@ let run ?(granularity = Boundary) ?(threaded = false) ?(region = false)
   let cfg =
     { Core.Config.default with
       isa = mode.isa; chaining = mode.chaining; fuse_mem = mode.fuse_mem;
-      hot_threshold;
+      hot_threshold; tcache_max_slots;
       engine = (if region then Core.Config.Region else Core.Config.Threaded);
       superops;
       (* aggressive promotion so oracle-sized programs actually tier up;

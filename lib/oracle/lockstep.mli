@@ -77,6 +77,7 @@ val run :
   ?flush_every:int ->
   ?fuel:int ->
   ?hot_threshold:int ->
+  ?tcache_max_slots:int ->
   ?warm_start:bool ->
   ?corrupt:(int -> Core.Vm.t -> unit) ->
   mode:mode ->
@@ -101,7 +102,9 @@ val run :
     injects a {!Core.Vm.flush}
     every that many segment boundaries (default 0 = never).
     [hot_threshold] defaults to 10 so short programs reach translated
-    code. [warm_start] (default false) first runs a throwaway VM cold to
+    code. [tcache_max_slots] (default unbounded) bounds the translation
+    cache, so capacity-policy flushes — including the region and fused
+    invalidations they force — run under lockstep verification too. [warm_start] (default false) first runs a throwaway VM cold to
     completion, saves its translation cache through the full
     {!Persist.Snapshot} byte encoding, and builds the VM under comparison
     from that snapshot — proving warm start observationally identical to

@@ -16,8 +16,11 @@ let magic = "ILDPSNAP"
    version 4: the cache gained the ranked superop idiom table (mined
    slot-shape n-grams, see {!Core.Superop}) and the fingerprint gained
    fp_superops — a warm start fuses promoted blocks with the profile's
-   idioms immediately instead of re-mining from a cold cache. *)
-let version = 4
+   idioms immediately instead of re-mining from a cold cache.
+   version 5: the fingerprint gained fp_tcache_max_slots — a cache
+   persisted under one capacity bound must not warm-start a VM whose
+   bound (and hence flush points) differs. *)
+let version = 5
 
 type fingerprint = {
   fp_backend : string;
@@ -32,6 +35,7 @@ type fingerprint = {
   fp_region_threshold : int;
   fp_region_max_slots : int;
   fp_superops : bool;
+  fp_tcache_max_slots : int;
   fp_image_digest : string;
 }
 
@@ -59,6 +63,7 @@ let fingerprint_mismatches ~got ~want =
       i "region_threshold" got.fp_region_threshold want.fp_region_threshold;
       i "region_max_slots" got.fp_region_max_slots want.fp_region_max_slots;
       b "superops" got.fp_superops want.fp_superops;
+      i "tcache_max_slots" got.fp_tcache_max_slots want.fp_tcache_max_slots;
       s "image_digest" got.fp_image_digest want.fp_image_digest;
     ]
 
@@ -125,6 +130,7 @@ let put_fingerprint w fp =
   B.int w fp.fp_region_threshold;
   B.int w fp.fp_region_max_slots;
   B.bool w fp.fp_superops;
+  B.int w fp.fp_tcache_max_slots;
   B.str w fp.fp_image_digest
 
 let get_fingerprint r =
@@ -140,10 +146,12 @@ let get_fingerprint r =
   let fp_region_threshold = B.read_int r in
   let fp_region_max_slots = B.read_int r in
   let fp_superops = B.read_bool r in
+  let fp_tcache_max_slots = B.read_int r in
   let fp_image_digest = B.read_str r in
   { fp_backend; fp_isa; fp_chaining; fp_engine; fp_n_accs; fp_hot_threshold;
     fp_max_superblock; fp_stop_at_translated; fp_fuse_mem;
-    fp_region_threshold; fp_region_max_slots; fp_superops; fp_image_digest }
+    fp_region_threshold; fp_region_max_slots; fp_superops;
+    fp_tcache_max_slots; fp_image_digest }
 
 let put_frag w f =
   B.int w f.f_id;

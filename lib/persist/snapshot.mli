@@ -35,6 +35,7 @@ type fingerprint = {
   fp_region_threshold : int;
   fp_region_max_slots : int;
   fp_superops : bool;
+  fp_tcache_max_slots : int;
   fp_image_digest : string;  (** hex MD5 of the program image + entry *)
 }
 

@@ -1,4 +1,5 @@
-(* Workload registry: the twelve SPEC CPU2000 INT analogues.
+(* Workload registry: twelve SPEC CPU2000 INT analogues plus the
+   quantized NN inference kernels from [workloads_nn].
 
    Each workload is MiniC source parameterised by [scale] (default 1 sizes
    a run at a few hundred thousand dynamic V-ISA instructions — small
@@ -28,6 +29,12 @@ let all : t list =
     { name = Wl_vortex.name; description = Wl_vortex.description; source = Wl_vortex.source };
     { name = Wl_bzip2.name; description = Wl_bzip2.description; source = Wl_bzip2.source };
     { name = Wl_twolf.name; description = Wl_twolf.description; source = Wl_twolf.source };
+    { name = Workloads_nn.Wl_nn_mlp.name;
+      description = Workloads_nn.Wl_nn_mlp.description;
+      source = Workloads_nn.Wl_nn_mlp.source };
+    { name = Workloads_nn.Wl_nn_tiled.name;
+      description = Workloads_nn.Wl_nn_tiled.description;
+      source = Workloads_nn.Wl_nn_tiled.source };
   ]
 
 let find name = List.find_opt (fun w -> w.name = name) all

@@ -1,0 +1,110 @@
+(* Blocked (systolic-style) tiled matmul inference: two chained 18x18
+   fixed-point matrix multiplies, each computed tile-by-tile (6x6 blocks
+   over i/j/k, the classical cache-blocking schedule a systolic array
+   maps to), then requantized and ReLU'd in Q8 like the MLP kernel. The
+   output of layer 1 feeds layer 2, and layer 2's output is folded back
+   into the next pass's input matrix so every pass computes fresh data.
+
+   Per-layer running checksums are the verified guest output. The hot
+   code is a 3-deep blocked loop nest of multiply-accumulates over
+   strided rows/columns — dense ALU pressure with a strided (rather than
+   pointer-chasing) memory signature. *)
+
+let name = "nn_tiled"
+
+let description =
+  "blocked/systolic-style tiled matmul, two chained quantized layers"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+int a[324];
+int b[324];
+int bb[324];
+int cmat[324];
+int emat[324];
+int rng = 2463534242110081;
+int c1 = 0;
+int c2 = 0;
+
+int next8() {
+  rng ^= rng << 13;
+  rng ^= rng >>> 7;
+  rng ^= rng << 17;
+  return (rng & 255) - 128;
+}
+
+int main() {
+  int passes = %d;
+  int p;
+  int i0;
+  int j0;
+  int k0;
+  int i;
+  int j;
+  int k;
+  int ib;
+  int acc;
+  int v;
+  for (i = 0; i < 324; i += 1) { a[i] = next8(); }
+  for (i = 0; i < 324; i += 1) { b[i] = next8(); }
+  for (i = 0; i < 324; i += 1) { bb[i] = next8(); }
+  for (p = 0; p < passes; p += 1) {
+    for (i = 0; i < 324; i += 1) { cmat[i] = 0; }
+    for (i = 0; i < 324; i += 1) { emat[i] = 0; }
+    // layer 1: C = A * B, 6x6x6 tiles
+    for (i0 = 0; i0 < 18; i0 += 6) {
+      for (j0 = 0; j0 < 18; j0 += 6) {
+        for (k0 = 0; k0 < 18; k0 += 6) {
+          for (i = i0; i < i0 + 6; i += 1) {
+            ib = i * 18;
+            for (j = j0; j < j0 + 6; j += 1) {
+              acc = cmat[ib + j];
+              for (k = k0; k < k0 + 6; k += 1) {
+                acc += a[ib + k] * b[k * 18 + j];
+              }
+              cmat[ib + j] = acc;
+            }
+          }
+        }
+      }
+    }
+    // requantize + ReLU layer 1, fold checksum
+    for (i = 0; i < 324; i += 1) {
+      v = (cmat[i] + 128) >> 8;
+      v = sel(v > 0, v, 0);
+      cmat[i] = v;
+      c1 = (c1 * 33 + v) & 0xffffff;
+    }
+    // layer 2: E = C * BB, same schedule
+    for (i0 = 0; i0 < 18; i0 += 6) {
+      for (j0 = 0; j0 < 18; j0 += 6) {
+        for (k0 = 0; k0 < 18; k0 += 6) {
+          for (i = i0; i < i0 + 6; i += 1) {
+            ib = i * 18;
+            for (j = j0; j < j0 + 6; j += 1) {
+              acc = emat[ib + j];
+              for (k = k0; k < k0 + 6; k += 1) {
+                acc += cmat[ib + k] * bb[k * 18 + j];
+              }
+              emat[ib + j] = acc;
+            }
+          }
+        }
+      }
+    }
+    for (i = 0; i < 324; i += 1) {
+      v = (emat[i] + 128) >> 8;
+      v = sel(v > 0, v, 0);
+      c2 = (c2 * 33 + v) & 0xffffff;
+      // feed layer-2 output back as the next pass's input
+      a[i] = (v & 255) - 128;
+    }
+  }
+  print c1;
+  print c2;
+  print rng & 0xffffff;
+  return 0;
+}
+|}
+    (min 40 (max 1 scale))

@@ -18,6 +18,7 @@ let () =
       ("service", Test_service.suite);
       ("oracle", Test_oracle.suite);
       ("superop", Test_superop.suite);
+      ("stress", Test_stress.suite);
       ("exec_closure", Test_exec_closure.suite);
       ("obs", Test_obs.suite);
       ("persist", Test_persist.suite);

@@ -235,6 +235,48 @@ let test_locals_overflow_to_stack () =
     |}
     "78\n24\n"
 
+let test_logical_shift () =
+  expect "logical shift"
+    {|
+    int main() {
+      print -8 >> 1;
+      print -8 >>> 1;
+      print -8 >>> 60;
+      print (1 << 63) >>> 63;
+      print -1 >>> 1;
+      print 5 + 3 >>> 1;
+      return 0;
+    }
+    |}
+    "-4\n9223372036854775804\n15\n1\n9223372036854775807\n4\n"
+
+let test_compound_assign () =
+  expect "compound assignment"
+    {|
+    int g = 10;
+    int a[4];
+    int main() {
+      int x = 7;
+      x += 5; print x;
+      x -= 2; print x;
+      x *= 3; print x;
+      x /= 4; print x;
+      x %= 5; print x;
+      x |= 9; print x;
+      x &= 13; print x;
+      x ^= 3; print x;
+      x <<= 2; print x;
+      x >>= 1; print x;
+      x = -x; x >>>= 60; print x;
+      g += 5; print g;
+      a[1] = 6; a[1] += a[1]; print a[1];
+      a[2] -= 3; print a[2];
+      a[2] *= a[1]; print a[2];
+      return 0;
+    }
+    |}
+    "12\n10\n30\n7\n2\n11\n9\n10\n40\n20\n15\n15\n12\n-3\n-36\n"
+
 let test_errors_rejected () =
   let reject src =
     match Minic.compile src with
@@ -309,6 +351,8 @@ let suite =
     ("division and modulo", `Quick, test_div_mod_basic);
     ("exit code", `Quick, test_exit_code);
     ("locals overflow to stack", `Quick, test_locals_overflow_to_stack);
+    ("logical shift right", `Quick, test_logical_shift);
+    ("compound assignment", `Quick, test_compound_assign);
     ("bad programs rejected", `Quick, test_errors_rejected);
     ("minic through the DBT", `Quick, test_minic_through_dbt);
     QCheck_alcotest.to_alcotest prop_div_matches_ocaml;

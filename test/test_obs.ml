@@ -364,7 +364,8 @@ let test_json_fingerprint_roundtrip () =
       fp_hot_threshold = 45; fp_max_superblock = 200;
       fp_stop_at_translated = false; fp_fuse_mem = true;
       fp_region_threshold = 100; fp_region_max_slots = 1024;
-      fp_superops = true; fp_image_digest = "00ff a\"b,c" }
+      fp_superops = true; fp_tcache_max_slots = max_int;
+      fp_image_digest = "00ff a\"b,c" }
   in
   let doc = Harness.Persist_bench.json_of_fp fp in
   match Obs.Json.parse_string (Obs.Json.to_string doc) with

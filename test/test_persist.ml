@@ -428,7 +428,7 @@ let suite =
     Alcotest.test_case "bit flips rejected" `Quick test_corruption_rejected;
     Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
     Alcotest.test_case "framing damage rejected" `Quick test_framing_rejected;
-    Alcotest.test_case "idiom table roundtrips (v4)" `Quick
+    Alcotest.test_case "idiom table roundtrips" `Quick
       test_idiom_table_roundtrip;
     Alcotest.test_case "corrupt idiom table rejected" `Quick
       test_corrupt_idiom_table_rejected;

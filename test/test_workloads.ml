@@ -142,9 +142,9 @@ let test_scale_parameter () =
     (i2 > i1 + (i1 / 3))
 
 let test_registry_consistency () =
-  check Alcotest.int "twelve workloads" 12 (List.length Workloads.all);
+  check Alcotest.int "fourteen workloads" 14 (List.length Workloads.all);
   let names = List.map (fun (w : Workloads.t) -> w.name) Workloads.all in
-  check Alcotest.int "unique names" 12
+  check Alcotest.int "unique names" 14
     (List.length (List.sort_uniq compare names));
   List.iter
     (fun (w : Workloads.t) ->
